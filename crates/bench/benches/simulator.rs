@@ -1,0 +1,87 @@
+//! Raw throughput of the reproduction machinery itself: simulator
+//! element rate, assembler, chime partitioner, and compiler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use c240_sim::{Cpu, SimConfig};
+use macs_bench::triad_loop;
+use macs_core::{partition_chimes, ChimeConfig};
+use macs_compiler::{compile, CompileOptions, Kernel};
+use macs_compiler::{load, param};
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let strips = 100i64;
+    let program = triad_loop(strips, 128);
+    let elements = (strips as u64) * 128 * 5; // 5 vector ops per strip
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(elements));
+    g.bench_function("triad_elements", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(SimConfig::c240());
+            cpu.set_areg(1, 0);
+            cpu.set_areg(2, 320000);
+            cpu.set_areg(3, 640000);
+            cpu.set_sreg_fp(1, 2.0);
+            black_box(cpu.run(&program).unwrap().cycles)
+        })
+    });
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let source = lfk_text();
+    c.bench_function("assembler/lfk1_listing", |b| {
+        b.iter(|| black_box(c240_isa::asm::assemble(&source).unwrap()))
+    });
+}
+
+fn lfk_text() -> String {
+    "L7:
+        mov s0,vl
+        ld.l 40120(a5),v0
+        mul.d v0,s1,v1
+        ld.l 40128(a5),v2
+        mul.d v2,s3,v0
+        add.d v1,v0,v3
+        ld.l 32032(a5),v1
+        mul.d v1,v3,v2
+        add.d v2,s7,v0
+        st.l v0,24024(a5)
+        add.w #1024,a5
+        sub.w #128,s0
+        lt.w #0,s0
+        jbrs.t L7
+        halt"
+        .to_string()
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let p = c240_isa::asm::assemble(&lfk_text()).unwrap();
+    let l = p.innermost_loop().unwrap();
+    let body = p.loop_body(l).to_vec();
+    c.bench_function("chime_partitioner/lfk1", |b| {
+        b.iter(|| black_box(partition_chimes(&body, &ChimeConfig::c240())))
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let kernel = Kernel::new("triad")
+        .array("x", 6000)
+        .array("y", 6000)
+        .array("z", 6000)
+        .param("a", 3.0)
+        .store("x", 0, load("y", 0) + param("a") * load("z", 0));
+    c.bench_function("compiler/triad", |b| {
+        b.iter(|| black_box(compile(&kernel, 5000, CompileOptions::default()).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulator_throughput,
+    bench_assembler,
+    bench_partitioner,
+    bench_compiler
+);
+criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! MA workload analysis: operation counts under a perfect compiler
+//! (§3.1 of the paper).
+//!
+//! The MA bound counts the additions `f_a` and multiplications `f_m` of
+//! the high-level loop body, and the loads `l` and stores `s` that remain
+//! after *perfect index analysis* — array references that revisit data
+//! already touched in an earlier iteration are counted once, because an
+//! ideal compiler would keep the reused elements in registers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::expr::StreamRef;
+use crate::kernel::{Kernel, Stmt};
+
+/// The MA-level workload of one loop iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaWorkload {
+    /// Additions per iteration (`f_a`).
+    pub f_a: u32,
+    /// Multiplications per iteration (`f_m`).
+    pub f_m: u32,
+    /// Memory loads per iteration after perfect reuse (`l`).
+    pub loads: u32,
+    /// Memory stores per iteration (`s`).
+    pub stores: u32,
+}
+
+impl MaWorkload {
+    /// `t_f = max(f_a, f_m)` — floating point bound component in CPL.
+    pub fn t_f(&self) -> f64 {
+        f64::from(self.f_a.max(self.f_m))
+    }
+
+    /// `t_m = l + s` — memory bound component in CPL.
+    pub fn t_m(&self) -> f64 {
+        f64::from(self.loads + self.stores)
+    }
+
+    /// `t_MA = max(t_f, t_m)` in CPL (Eq. 1).
+    pub fn t_ma_cpl(&self) -> f64 {
+        self.t_f().max(self.t_m())
+    }
+
+    /// `t_MA` in CPF (Eq. 2): CPL divided by `f_a + f_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has no floating point operations.
+    pub fn t_ma_cpf(&self) -> f64 {
+        let f = self.f_a + self.f_m;
+        assert!(f > 0, "CPF undefined for a kernel with no flops");
+        self.t_ma_cpl() / f64::from(f)
+    }
+}
+
+impl fmt::Display for MaWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f_a={} f_m={} l={} s={} (t_f={}, t_m={}, t_MA={} CPL)",
+            self.f_a,
+            self.f_m,
+            self.loads,
+            self.stores,
+            self.t_f(),
+            self.t_m(),
+            self.t_ma_cpl()
+        )
+    }
+}
+
+/// The canonical reuse class of a stream reference: references in the
+/// same class revisit each other's elements in other iterations, so a
+/// perfect compiler loads the class once per iteration.
+///
+/// Two references belong to the same class when they name the same array,
+/// advance by the same step, and their offsets are congruent modulo the
+/// step.
+fn reuse_class(s: &StreamRef, loop_step: i64) -> (String, i64, i64) {
+    let step = s.resolved_step(loop_step);
+    let phase = if step == 0 {
+        s.offset
+    } else {
+        s.offset.rem_euclid(step.abs())
+    };
+    (s.array.clone(), step, phase)
+}
+
+/// Computes the MA workload of a kernel (perfect-reuse operation counts).
+///
+/// # Example
+///
+/// LFK1 has 2 adds, 3 multiplies, and — with `ZX(k+10)`/`ZX(k+11)`
+/// collapsing into one stream — 2 loads and 1 store: `t_MA = 3` CPL.
+///
+/// ```
+/// use macs_compiler::{analyze_ma, Kernel, load, param};
+///
+/// let lfk1 = Kernel::new("lfk1")
+///     .array("x", 1001).array("y", 1001).array("zx", 1012)
+///     .param("q", 1.0).param("r", 2.0).param("t", 3.0)
+///     .store("x", 0,
+///         param("q") + load("y", 0)
+///             * (param("r") * load("zx", 10) + param("t") * load("zx", 11)));
+/// let ma = analyze_ma(&lfk1);
+/// assert_eq!((ma.f_a, ma.f_m, ma.loads, ma.stores), (2, 3, 2, 1));
+/// assert_eq!(ma.t_ma_cpl(), 3.0);
+/// assert_eq!(ma.t_ma_cpf(), 0.6);
+/// ```
+pub fn analyze_ma(kernel: &Kernel) -> MaWorkload {
+    // An ideal compiler hoists loop-invariant scalar arithmetic, so the
+    // MA flop counts come from the folded body (else a real compiler
+    // that folds could beat the "ideal" bound).
+    let body = kernel.folded_body();
+    let mut f_a = 0;
+    let mut f_m = 0;
+    for stmt in &body {
+        let (a, m) = stmt.value().flops();
+        f_a += a;
+        f_m += m;
+        if matches!(stmt, Stmt::Reduce { .. }) {
+            f_a += 1;
+        }
+    }
+    let step = kernel.loop_step();
+    let mut load_classes: BTreeSet<(String, i64, i64)> = BTreeSet::new();
+    let mut store_classes: BTreeSet<(String, i64, i64)> = BTreeSet::new();
+    for stmt in &body {
+        let mut refs = Vec::new();
+        stmt.value().collect_loads(&mut refs);
+        for r in &refs {
+            load_classes.insert(reuse_class(r, step));
+        }
+        if let Stmt::Store { target, .. } = stmt {
+            store_classes.insert(reuse_class(target, step));
+        }
+    }
+    MaWorkload {
+        f_a,
+        f_m,
+        loads: load_classes.len() as u32,
+        stores: store_classes.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{load, load_strided, param};
+
+    #[test]
+    fn lfk1_ma() {
+        let k = Kernel::new("lfk1")
+            .array("x", 1001)
+            .array("y", 1001)
+            .array("zx", 1012)
+            .param("q", 0.0)
+            .param("r", 0.0)
+            .param("t", 0.0)
+            .store(
+                "x",
+                0,
+                param("q")
+                    + load("y", 0) * (param("r") * load("zx", 10) + param("t") * load("zx", 11)),
+            );
+        let ma = analyze_ma(&k);
+        assert_eq!(ma.f_a, 2);
+        assert_eq!(ma.f_m, 3);
+        assert_eq!(ma.loads, 2); // zx collapses, y
+        assert_eq!(ma.stores, 1);
+        assert_eq!(ma.t_ma_cpl(), 3.0);
+    }
+
+    #[test]
+    fn lfk2_step2_reuse() {
+        // X(k) = X(k) - V(k)*X(k-1) - V(k+1)*X(k+1), step 2:
+        // X(k±1) are one stream (offsets congruent mod 2), X(k) another;
+        // V(k) and V(k+1) are distinct. 4 loads + 1 store = 5 = t_MA.
+        let k = Kernel::new("lfk2ish")
+            .array("x", 1001)
+            .array("v", 1001)
+            .array("xout", 1001)
+            .step(2)
+            .store(
+                "xout",
+                0,
+                load("x", 0) - load("v", 0) * load("x", -1) - load("v", 1) * load("x", 1),
+            );
+        let ma = analyze_ma(&k);
+        assert_eq!(ma.f_a, 2);
+        assert_eq!(ma.f_m, 2);
+        assert_eq!(ma.loads, 4);
+        assert_eq!(ma.stores, 1);
+        assert_eq!(ma.t_ma_cpl(), 5.0);
+        assert_eq!(ma.t_ma_cpf(), 1.25);
+    }
+
+    #[test]
+    fn lfk7_heavy_reuse() {
+        // 8 adds, 8 muls, u/y/z collapse to 3 loads + 1 store: t_MA = 8.
+        let u = |o| load("u", o);
+        let k = Kernel::new("lfk7ish")
+            .array("x", 1001)
+            .array("u", 1007)
+            .array("y", 1001)
+            .array("z", 1001)
+            .param("r", 0.0)
+            .param("t", 0.0)
+            .store(
+                "x",
+                0,
+                u(0) + param("r") * (load("z", 0) + param("r") * load("y", 0))
+                    + param("t")
+                        * (u(3) + param("r") * (u(2) + param("r") * u(1))
+                            + param("t") * (u(6) + param("r") * (u(5) + param("r") * u(4)))),
+            );
+        let ma = analyze_ma(&k);
+        assert_eq!((ma.f_a, ma.f_m), (8, 8));
+        assert_eq!((ma.loads, ma.stores), (3, 1));
+        assert_eq!(ma.t_ma_cpl(), 8.0);
+        assert_eq!(ma.t_ma_cpf(), 0.5);
+    }
+
+    #[test]
+    fn strided_streams_do_not_collapse() {
+        // PX(25k+4) and PX(25k+5) are distinct streams.
+        let k = Kernel::new("lfk9ish")
+            .array("px", 4000)
+            .store(
+                "px",
+                0,
+                load_strided("px", 4, 25) + load_strided("px", 5, 25),
+            );
+        let ma = analyze_ma(&k);
+        assert_eq!(ma.loads, 2);
+    }
+
+    #[test]
+    fn duplicate_refs_count_once() {
+        let k = Kernel::new("dup")
+            .array("a", 10)
+            .array("o", 10)
+            .store("o", 0, load("a", 0) * load("a", 0));
+        assert_eq!(analyze_ma(&k).loads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no flops")]
+    fn cpf_without_flops_panics() {
+        let k = Kernel::new("copy")
+            .array("a", 10)
+            .array("b", 10)
+            .store("b", 0, load("a", 0));
+        let _ = analyze_ma(&k).t_ma_cpf();
+    }
+
+    #[test]
+    fn negative_offsets_group_correctly() {
+        // step 1: offsets -3 and 5 are the same stream.
+        let k = Kernel::new("n")
+            .array("a", 10)
+            .array("o", 10)
+            .store("o", 0, load("a", -3) + load("a", 5));
+        assert_eq!(analyze_ma(&k).loads, 1);
+    }
+}

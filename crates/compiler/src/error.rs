@@ -1,0 +1,105 @@
+//! Compiler errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error compiling a kernel to C-240 assembly.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// An expression references an array that was never declared.
+    UnknownArray(String),
+    /// An expression references a parameter that was never declared.
+    UnknownParam(String),
+    /// More scalar values (parameters, constants, derived negations,
+    /// reduction temporaries) than scalar registers.
+    ScalarRegisterPressure {
+        /// Scalar values needed.
+        needed: usize,
+        /// Registers available.
+        available: usize,
+    },
+    /// The expression tree needs more than eight live vector registers.
+    VectorRegisterPressure,
+    /// A store's value reduces to a scalar (no vector operand).
+    ScalarStore,
+    /// The kernel body is empty.
+    EmptyBody,
+    /// Streams of the same array advance by different steps; the strip
+    /// advance would be ambiguous.
+    MixedSteps(String),
+    /// A stream reference has a negative constant offset; compiled loops
+    /// start at iteration zero, so shift the kernel's index space.
+    NegativeOffset(String),
+    /// A stream would run past the declared array length.
+    ArrayOverrun {
+        /// Offending array.
+        array: String,
+        /// Words required.
+        needed: u64,
+        /// Words declared.
+        declared: u64,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownArray(a) => write!(f, "undeclared array `{a}`"),
+            CompileError::UnknownParam(p) => write!(f, "undeclared parameter `{p}`"),
+            CompileError::ScalarRegisterPressure { needed, available } => write!(
+                f,
+                "kernel needs {needed} scalar values but only {available} registers are available"
+            ),
+            CompileError::VectorRegisterPressure => {
+                write!(f, "expression needs more than eight live vector registers")
+            }
+            CompileError::ScalarStore => {
+                write!(f, "stored value contains no vector operand")
+            }
+            CompileError::EmptyBody => write!(f, "kernel body is empty"),
+            CompileError::MixedSteps(a) => {
+                write!(f, "array `{a}` is referenced with conflicting stream steps")
+            }
+            CompileError::NegativeOffset(a) => write!(
+                f,
+                "array `{a}` is referenced with a negative offset; shift the kernel's index space"
+            ),
+            CompileError::ArrayOverrun {
+                array,
+                needed,
+                declared,
+            } => write!(
+                f,
+                "array `{array}` needs {needed} words but declares only {declared}"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CompileError::UnknownArray("zz".into())
+            .to_string()
+            .contains("zz"));
+        assert!(CompileError::ScalarRegisterPressure {
+            needed: 9,
+            available: 7
+        }
+        .to_string()
+        .contains('9'));
+        assert!(CompileError::ArrayOverrun {
+            array: "x".into(),
+            needed: 10,
+            declared: 5
+        }
+        .to_string()
+        .contains("10"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Expressions of the loop-body IR.
+//!
+//! An expression reads array *streams* ([`StreamRef`]), loop-invariant
+//! scalar parameters, and constants, combined with floating point
+//! arithmetic. Expressions support Rust operator syntax:
+//!
+//! ```
+//! use macs_compiler::{load, param, con};
+//!
+//! // X(k) = Q + Y(k) * (R * ZX(k+10) + T * ZX(k+11))   — LFK1
+//! let rhs = param("q")
+//!     + load("y", 0) * (param("r") * load("zx", 10) + param("t") * load("zx", 11));
+//! assert_eq!(rhs.flops(), (2, 3)); // 2 additions, 3 multiplications
+//! ```
+
+use std::fmt;
+use std::ops;
+
+/// A reference to one element of an array stream, relative to the current
+/// loop iteration.
+///
+/// In source terms, `A(c·k + offset)` for loop variable `k`: `offset` is
+/// the constant element offset and `step` the number of array elements the
+/// reference advances per iteration (`None` means "the loop's step").
+/// A 2-D column access like Fortran's `B(i,k)` with `k` the loop variable
+/// is a stream with `step = Some(leading_dimension)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StreamRef {
+    /// Array name.
+    pub array: String,
+    /// Constant element offset from the loop position.
+    pub offset: i64,
+    /// Elements advanced per source iteration (`None`: the loop's step).
+    pub step: Option<i64>,
+}
+
+impl StreamRef {
+    /// The step, resolved against the enclosing loop's step.
+    pub fn resolved_step(&self, loop_step: i64) -> i64 {
+        self.step.unwrap_or(loop_step)
+    }
+}
+
+impl fmt::Display for StreamRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.offset, self.step) {
+            (0, None) => write!(f, "{}[k]", self.array),
+            (o, None) => write!(f, "{}[k{o:+}]", self.array),
+            (0, Some(s)) => write!(f, "{}[{s}k]", self.array),
+            (o, Some(s)) => write!(f, "{}[{s}k{o:+}]", self.array),
+        }
+    }
+}
+
+/// Binary floating point operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition (add pipe, counts toward `f_a`).
+    Add,
+    /// Subtraction (add pipe, counts toward `f_a`).
+    Sub,
+    /// Multiplication (multiply pipe, counts toward `f_m`).
+    Mul,
+    /// Division (multiply pipe, counts toward `f_m`).
+    Div,
+}
+
+impl BinOp {
+    /// Applies the operator to two values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+
+    /// Whether this operator executes on the add pipe (else multiply).
+    pub fn is_add_class(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub)
+    }
+}
+
+/// A loop-body expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An array stream element.
+    Load(StreamRef),
+    /// A loop-invariant scalar parameter by name.
+    Param(String),
+    /// A floating point constant.
+    Const(f64),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Negation (executes on the add pipe).
+    Neg(Box<Expr>),
+}
+
+/// A stream load: `load("zx", 10)` is `ZX(k+10)`.
+pub fn load(array: &str, offset: i64) -> Expr {
+    Expr::Load(StreamRef {
+        array: array.to_string(),
+        offset,
+        step: None,
+    })
+}
+
+/// A stream load with an explicit per-iteration step (2-D columns,
+/// gathers): `load_strided("px", 4, 25)` is `PX(25·k + 4)`.
+pub fn load_strided(array: &str, offset: i64, step: i64) -> Expr {
+    Expr::Load(StreamRef {
+        array: array.to_string(),
+        offset,
+        step: Some(step),
+    })
+}
+
+/// A scalar parameter reference.
+pub fn param(name: &str) -> Expr {
+    Expr::Param(name.to_string())
+}
+
+/// A floating point constant.
+pub fn con(value: f64) -> Expr {
+    Expr::Const(value)
+}
+
+impl Expr {
+    /// `(additions, multiplications)` in this expression, using the
+    /// paper's accounting (sub and neg are add-class; div is
+    /// multiply-class).
+    pub fn flops(&self) -> (u32, u32) {
+        match self {
+            Expr::Load(_) | Expr::Param(_) | Expr::Const(_) => (0, 0),
+            Expr::Bin(op, a, b) => {
+                let (aa, am) = a.flops();
+                let (ba, bm) = b.flops();
+                if op.is_add_class() {
+                    (aa + ba + 1, am + bm)
+                } else {
+                    (aa + ba, am + bm + 1)
+                }
+            }
+            Expr::Neg(e) => {
+                let (a, m) = e.flops();
+                (a + 1, m)
+            }
+        }
+    }
+
+    /// Appends every stream reference in evaluation order.
+    pub fn collect_loads(&self, out: &mut Vec<StreamRef>) {
+        match self {
+            Expr::Load(s) => out.push(s.clone()),
+            Expr::Param(_) | Expr::Const(_) => {}
+            Expr::Bin(_, a, b) => {
+                a.collect_loads(out);
+                b.collect_loads(out);
+            }
+            Expr::Neg(e) => e.collect_loads(out),
+        }
+    }
+
+    /// Evaluates the expression for one iteration, with `lookup` supplying
+    /// stream element values and `params` supplying parameters.
+    ///
+    /// Used to cross-check compiled code against the IR semantics.
+    pub fn eval(
+        &self,
+        lookup: &mut impl FnMut(&StreamRef) -> f64,
+        params: &impl Fn(&str) -> f64,
+    ) -> f64 {
+        match self {
+            Expr::Load(s) => lookup(s),
+            Expr::Param(p) => params(p),
+            Expr::Const(c) => *c,
+            Expr::Bin(op, a, b) => {
+                let va = a.eval(lookup, params);
+                let vb = b.eval(lookup, params);
+                op.apply(va, vb)
+            }
+            Expr::Neg(e) => -e.eval(lookup, params),
+        }
+    }
+
+    /// Folds constant subtrees (`Const op Const` → `Const`).
+    pub fn fold(self) -> Expr {
+        match self {
+            Expr::Bin(op, a, b) => {
+                let a = a.fold();
+                let b = b.fold();
+                if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                    Expr::Const(op.apply(*x, *y))
+                } else {
+                    Expr::Bin(op, Box::new(a), Box::new(b))
+                }
+            }
+            Expr::Neg(e) => {
+                let e = e.fold();
+                if let Expr::Const(x) = e {
+                    Expr::Const(-x)
+                } else {
+                    Expr::Neg(Box::new(e))
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Load(s) => s.fmt(f),
+            Expr::Param(p) => f.write_str(p),
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Bin(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+            Expr::Neg(e) => write!(f, "(-{e})"),
+        }
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfk1_flop_counts() {
+        let rhs = param("q")
+            + load("y", 0) * (param("r") * load("zx", 10) + param("t") * load("zx", 11));
+        assert_eq!(rhs.flops(), (2, 3));
+        let mut loads = Vec::new();
+        rhs.collect_loads(&mut loads);
+        assert_eq!(loads.len(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = load("x", 0) - load_strided("b", 1, 25) / con(2.0);
+        let text = e.to_string();
+        assert!(text.contains("x[k]"));
+        assert!(text.contains("b[25k+1]"));
+        let n = -param("p");
+        assert_eq!(n.to_string(), "(-p)");
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let e = (load("a", 0) + con(1.0)) * param("s") - con(2.0);
+        let v = e.eval(&mut |s| if s.array == "a" { 3.0 } else { 0.0 }, &|_| 10.0);
+        assert_eq!(v, 38.0);
+    }
+
+    #[test]
+    fn neg_counts_as_add_class() {
+        let e = -load("a", 0);
+        assert_eq!(e.flops(), (1, 0));
+    }
+
+    #[test]
+    fn fold_constants() {
+        let e = (con(2.0) * con(3.0) + param("x")).fold();
+        match e {
+            Expr::Bin(BinOp::Add, a, _) => assert_eq!(*a, Expr::Const(6.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!((-con(4.0)).fold(), Expr::Const(-4.0));
+    }
+
+    #[test]
+    fn resolved_step() {
+        let s = StreamRef {
+            array: "x".into(),
+            offset: 0,
+            step: None,
+        };
+        assert_eq!(s.resolved_step(2), 2);
+        let s2 = StreamRef {
+            array: "x".into(),
+            offset: 0,
+            step: Some(25),
+        };
+        assert_eq!(s2.resolved_step(2), 25);
+    }
+
+    #[test]
+    fn div_is_multiply_class() {
+        let e = load("a", 0) / load("b", 0);
+        assert_eq!(e.flops(), (0, 1));
+        assert!(!BinOp::Div.is_add_class());
+    }
+}

@@ -1,0 +1,433 @@
+//! Kernels: a vectorizable inner loop over array streams — the
+//! "Application" (A) of the MACS model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::expr::{Expr, StreamRef};
+
+/// One statement of the loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target(k·step + offset) = value` — a vector store.
+    Store {
+        /// Destination stream.
+        target: StreamRef,
+        /// Stored expression.
+        value: Expr,
+    },
+    /// `acc = acc ± value` — a loop-carried scalar reduction into the
+    /// named accumulator parameter.
+    Reduce {
+        /// Accumulator parameter name.
+        acc: String,
+        /// `false` for `acc += value`, `true` for `acc -= value`.
+        subtract: bool,
+        /// Accumulated expression.
+        value: Expr,
+    },
+}
+
+impl Stmt {
+    /// The statement's expression.
+    pub fn value(&self) -> &Expr {
+        match self {
+            Stmt::Store { value, .. } | Stmt::Reduce { value, .. } => value,
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Store { target, value } => write!(f, "{target} = {value}"),
+            Stmt::Reduce {
+                acc,
+                subtract,
+                value,
+            } => write!(f, "{acc} {}= {value}", if *subtract { '-' } else { '+' }),
+        }
+    }
+}
+
+/// An array declaration: name and length in elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Length in elements (8-byte words).
+    pub len: u64,
+}
+
+/// A vectorizable kernel: arrays, scalar parameters, and a single inner
+/// loop body with a constant step.
+///
+/// # Example
+///
+/// The DAXPY-like triad `x(k) = y(k) + a*z(k)`:
+///
+/// ```
+/// use macs_compiler::{Kernel, load, param};
+///
+/// let k = Kernel::new("triad")
+///     .array("x", 1000)
+///     .array("y", 1000)
+///     .array("z", 1000)
+///     .param("a", 3.0)
+///     .store("x", 0, load("y", 0) + param("a") * load("z", 0));
+/// assert_eq!(k.flops_per_iteration(), (1, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    params: BTreeMap<String, f64>,
+    step: i64,
+    body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Creates an empty kernel with loop step 1.
+    pub fn new(name: &str) -> Self {
+        Kernel {
+            name: name.to_string(),
+            arrays: Vec::new(),
+            params: BTreeMap::new(),
+            step: 1,
+            body: Vec::new(),
+        }
+    }
+
+    /// Declares an array.
+    pub fn array(mut self, name: &str, len: u64) -> Self {
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            len,
+        });
+        self
+    }
+
+    /// Declares a scalar parameter with its runtime value.
+    pub fn param(mut self, name: &str, value: f64) -> Self {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+
+    /// Sets the loop step in elements (e.g. 2 for LFK2's `DO k = .., 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0`.
+    pub fn step(mut self, step: i64) -> Self {
+        assert!(step != 0, "loop step must be nonzero");
+        self.step = step;
+        self
+    }
+
+    /// Appends a store statement `array(k + offset) = value`.
+    pub fn store(mut self, array: &str, offset: i64, value: Expr) -> Self {
+        self.body.push(Stmt::Store {
+            target: StreamRef {
+                array: array.to_string(),
+                offset,
+                step: None,
+            },
+            value,
+        });
+        self
+    }
+
+    /// Appends a strided store statement.
+    pub fn store_strided(mut self, array: &str, offset: i64, step: i64, value: Expr) -> Self {
+        self.body.push(Stmt::Store {
+            target: StreamRef {
+                array: array.to_string(),
+                offset,
+                step: Some(step),
+            },
+            value,
+        });
+        self
+    }
+
+    /// Appends a reduction `acc += value` (or `-=` when `subtract`).
+    pub fn reduce(mut self, acc: &str, subtract: bool, value: Expr) -> Self {
+        self.body.push(Stmt::Reduce {
+            acc: acc.to_string(),
+            subtract,
+            value,
+        });
+        self
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Declared parameters with initial values.
+    pub fn params(&self) -> &BTreeMap<String, f64> {
+        &self.params
+    }
+
+    /// The loop step in elements.
+    pub fn loop_step(&self) -> i64 {
+        self.step
+    }
+
+    /// The loop body.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Total `(additions, multiplications)` per source iteration — the
+    /// `f_a`/`f_m` of the MA model (reductions count one add each).
+    pub fn flops_per_iteration(&self) -> (u32, u32) {
+        let mut adds = 0;
+        let mut muls = 0;
+        for stmt in &self.body {
+            let (a, m) = stmt.value().flops();
+            adds += a;
+            muls += m;
+            if matches!(stmt, Stmt::Reduce { .. }) {
+                adds += 1;
+            }
+        }
+        (adds, muls)
+    }
+
+    /// `f_a + f_m`, the CPF divisor.
+    pub fn flops_total(&self) -> u32 {
+        let (a, m) = self.flops_per_iteration();
+        a + m
+    }
+
+    /// The names of all reduction accumulators in the body.
+    pub fn accumulators(&self) -> Vec<String> {
+        self.body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Reduce { acc, .. } => Some(acc.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The body with every loop-invariant scalar subtree folded to a
+    /// constant using the declared parameter values (accumulators are
+    /// not invariant). Both the MA analysis and the code generator work
+    /// on this form: an ideal compiler — and the real one — hoists
+    /// invariant scalar arithmetic out of the loop.
+    pub fn folded_body(&self) -> Vec<Stmt> {
+        let accs = self.accumulators();
+        self.body
+            .iter()
+            .map(|s| {
+                let value = fold_invariants(s.value(), self, &accs);
+                match s {
+                    Stmt::Store { target, .. } => Stmt::Store {
+                        target: target.clone(),
+                        value,
+                    },
+                    Stmt::Reduce { acc, subtract, .. } => Stmt::Reduce {
+                        acc: acc.clone(),
+                        subtract: *subtract,
+                        value,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates `iterations` source iterations directly on the IR
+    /// against array data, mutating `data` in place — the reference
+    /// semantics compiled code is validated against.
+    ///
+    /// `data` maps array names to their contents; accumulator parameters
+    /// are returned with their final values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel references undeclared arrays/params or reads
+    /// out of bounds — IR-level bugs.
+    pub fn interpret(
+        &self,
+        data: &mut BTreeMap<String, Vec<f64>>,
+        iterations: u64,
+    ) -> BTreeMap<String, f64> {
+        let mut params = self.params.clone();
+        for k in 0..iterations as i64 {
+            for stmt in &self.body {
+                let pcopy = params.clone();
+                let mut lookup = |s: &StreamRef| {
+                    let step = s.resolved_step(self.step);
+                    let idx = k * step + s.offset;
+                    let arr = data
+                        .get(&s.array)
+                        .unwrap_or_else(|| panic!("undeclared array `{}`", s.array));
+                    assert!(
+                        idx >= 0 && (idx as usize) < arr.len(),
+                        "index {idx} out of bounds for `{}`",
+                        s.array
+                    );
+                    arr[idx as usize]
+                };
+                let value = stmt
+                    .value()
+                    .eval(&mut lookup, &|p| pcopy[p]);
+                match stmt {
+                    Stmt::Store { target, .. } => {
+                        let step = target.resolved_step(self.step);
+                        let idx = k * step + target.offset;
+                        let arr = data.get_mut(&target.array).expect("declared array");
+                        arr[idx as usize] = value;
+                    }
+                    Stmt::Reduce { acc, subtract, .. } => {
+                        let slot = params.get_mut(acc).expect("declared accumulator");
+                        if *subtract {
+                            *slot -= value;
+                        } else {
+                            *slot += value;
+                        }
+                    }
+                }
+            }
+        }
+        params
+    }
+}
+
+/// Whether an expression is loop-invariant scalar (no loads, no
+/// accumulator references).
+fn is_invariant(e: &Expr, accs: &[String]) -> bool {
+    match e {
+        Expr::Load(_) => false,
+        Expr::Param(p) => !accs.iter().any(|a| a == p),
+        Expr::Const(_) => true,
+        Expr::Bin(_, a, b) => is_invariant(a, accs) && is_invariant(b, accs),
+        Expr::Neg(x) => is_invariant(x, accs),
+    }
+}
+
+fn fold_invariants(e: &Expr, kernel: &Kernel, accs: &[String]) -> Expr {
+    if is_invariant(e, accs) {
+        if let Expr::Param(_) | Expr::Const(_) = e {
+            return e.clone();
+        }
+        let v = e.eval(&mut |_| unreachable!("invariant has no loads"), &|p| {
+            kernel.params()[p]
+        });
+        return Expr::Const(v);
+    }
+    match e {
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(fold_invariants(a, kernel, accs)),
+            Box::new(fold_invariants(b, kernel, accs)),
+        ),
+        Expr::Neg(x) => Expr::Neg(Box::new(fold_invariants(x, kernel, accs))),
+        other => other.clone(),
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {} (step {}):", self.name, self.step)?;
+        for stmt in &self.body {
+            writeln!(f, "    {stmt}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{load, param};
+
+    fn triad() -> Kernel {
+        Kernel::new("triad")
+            .array("x", 100)
+            .array("y", 100)
+            .array("z", 100)
+            .param("a", 3.0)
+            .store("x", 0, load("y", 0) + param("a") * load("z", 0))
+    }
+
+    #[test]
+    fn flop_counting() {
+        let k = triad();
+        assert_eq!(k.flops_per_iteration(), (1, 1));
+        assert_eq!(k.flops_total(), 2);
+    }
+
+    #[test]
+    fn reduction_counts_accumulate_add() {
+        let k = Kernel::new("dot")
+            .array("x", 10)
+            .array("z", 10)
+            .param("q", 0.0)
+            .reduce("q", false, load("z", 0) * load("x", 0));
+        // One multiply in the expression plus the accumulate add.
+        assert_eq!(k.flops_per_iteration(), (1, 1));
+    }
+
+    #[test]
+    fn interpret_triad() {
+        let k = triad();
+        let mut data = BTreeMap::new();
+        data.insert("x".to_string(), vec![0.0; 100]);
+        data.insert("y".to_string(), vec![1.0; 100]);
+        data.insert("z".to_string(), vec![2.0; 100]);
+        k.interpret(&mut data, 10);
+        assert_eq!(data["x"][0], 7.0);
+        assert_eq!(data["x"][9], 7.0);
+        assert_eq!(data["x"][10], 0.0);
+    }
+
+    #[test]
+    fn interpret_reduction() {
+        let k = Kernel::new("dot")
+            .array("x", 10)
+            .array("z", 10)
+            .param("q", 1.0)
+            .reduce("q", false, load("z", 0) * load("x", 0));
+        let mut data = BTreeMap::new();
+        data.insert("x".to_string(), vec![2.0; 10]);
+        data.insert("z".to_string(), vec![3.0; 10]);
+        let params = k.interpret(&mut data, 10);
+        assert_eq!(params["q"], 1.0 + 60.0);
+    }
+
+    #[test]
+    fn interpret_respects_step_and_sees_own_stores() {
+        // x(k) = x(k-2) + 1 with step 2: a genuine recurrence through
+        // memory the interpreter must honor sequentially.
+        let k = Kernel::new("rec")
+            .array("x", 40)
+            .step(2)
+            .store("x", 2, load("x", 0) + crate::expr::con(1.0));
+        let mut data = BTreeMap::new();
+        data.insert("x".to_string(), vec![0.0; 40]);
+        k.interpret(&mut data, 10);
+        assert_eq!(data["x"][2], 1.0);
+        assert_eq!(data["x"][20], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be nonzero")]
+    fn zero_step_rejected() {
+        let _ = Kernel::new("bad").step(0);
+    }
+
+    #[test]
+    fn display_lists_body() {
+        let text = triad().to_string();
+        assert!(text.contains("x[k] = "));
+    }
+}

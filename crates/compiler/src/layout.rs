@@ -1,0 +1,102 @@
+//! Memory layout: where compiled kernels place their arrays.
+
+use std::collections::BTreeMap;
+
+use c240_isa::WORD_BYTES;
+
+use crate::kernel::Kernel;
+
+/// Word addresses assigned to a kernel's arrays.
+///
+/// Arrays are laid out sequentially from [`Layout::DATA_ORIGIN`], each
+/// aligned to a 32-word (bank-count) boundary so unit-stride streams of
+/// different arrays start in different banks deterministically. The words
+/// below the origin are reserved: a scratch area and the spilled
+/// base-pointer table used when a kernel has more arrays than address
+/// registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    bases: BTreeMap<String, (u64, u64)>,
+    total_words: u64,
+}
+
+impl Layout {
+    /// First word available for array data.
+    pub const DATA_ORIGIN: u64 = 128;
+
+    /// Word address of the spilled base-pointer table.
+    pub const POINTER_TABLE: u64 = 32;
+
+    /// Computes the layout for a kernel's declared arrays.
+    pub fn for_kernel(kernel: &Kernel) -> Self {
+        let mut bases = BTreeMap::new();
+        let mut next = Self::DATA_ORIGIN;
+        for a in kernel.arrays() {
+            bases.insert(a.name.clone(), (next, a.len));
+            next += a.len;
+            next = next.div_ceil(32) * 32;
+        }
+        Layout {
+            bases,
+            total_words: next,
+        }
+    }
+
+    /// Base word address of an array.
+    pub fn base_word(&self, array: &str) -> Option<u64> {
+        self.bases.get(array).map(|&(b, _)| b)
+    }
+
+    /// Base *byte* address of an array (what address registers hold).
+    pub fn base_byte(&self, array: &str) -> Option<i64> {
+        self.base_word(array).map(|w| (w * WORD_BYTES) as i64)
+    }
+
+    /// Declared length of an array in words.
+    pub fn len_words(&self, array: &str) -> Option<u64> {
+        self.bases.get(array).map(|&(_, l)| l)
+    }
+
+    /// Total words the layout occupies (arrays end here).
+    pub fn total_words(&self) -> u64 {
+        self.total_words
+    }
+
+    /// Arrays in layout order.
+    pub fn arrays(&self) -> impl Iterator<Item = (&str, u64, u64)> {
+        self.bases.iter().map(|(n, &(b, l))| (n.as_str(), b, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::load;
+
+    #[test]
+    fn sequential_aligned_layout() {
+        let k = Kernel::new("k")
+            .array("a", 100)
+            .array("b", 33)
+            .array("c", 1)
+            .store("c", 0, load("a", 0) + load("b", 0));
+        let l = Layout::for_kernel(&k);
+        assert_eq!(l.base_word("a"), Some(128));
+        assert_eq!(l.base_word("b"), Some(256)); // 228 rounded to 32
+        assert_eq!(l.base_word("c"), Some(320)); // 289 rounded
+        assert_eq!(l.base_byte("a"), Some(1024));
+        assert_eq!(l.len_words("b"), Some(33));
+        assert!(l.total_words() >= 321);
+        assert_eq!(l.base_word("nope"), None);
+    }
+
+    #[test]
+    fn arrays_iterates_all() {
+        let k = Kernel::new("k")
+            .array("a", 4)
+            .array("b", 4)
+            .store("b", 0, load("a", 0));
+        let l = Layout::for_kernel(&k);
+        assert_eq!(l.arrays().count(), 2);
+    }
+}

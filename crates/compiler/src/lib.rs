@@ -1,0 +1,57 @@
+//! Loop-nest IR and vectorizing compiler for the C-240 — the **A**
+//! (application), **C** (compiler-generated workload), and **S**
+//! (schedule) knobs of the MACS performance model.
+//!
+//! * [`Kernel`] expresses a vectorizable inner loop over array streams
+//!   with Rust operator syntax ([`load`], [`param`], [`con`]).
+//! * [`analyze_ma`] computes the paper's MA workload: flop counts and
+//!   perfect-reuse memory operation counts (§3.1).
+//! * [`compile`] lowers a kernel to strip-mined C-240 assembly, with the
+//!   compiler's (lack of) reuse producing the MA → MAC gap and the
+//!   selectable [`ScheduleStrategy`] / [`ReductionStyle`] exercising the
+//!   schedule sensitivity of the MACS bound.
+//!
+//! # Example
+//!
+//! ```
+//! use macs_compiler::{analyze_ma, compile, CompileOptions, Kernel, load, param};
+//!
+//! // X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11))   (LFK1)
+//! let lfk1 = Kernel::new("lfk1")
+//!     .array("x", 1300).array("y", 1300).array("zx", 1300)
+//!     .param("q", 10.0).param("r", 2.0).param("t", 3.0)
+//!     .store("x", 0,
+//!         param("q") + load("y", 0)
+//!             * (param("r") * load("zx", 10) + param("t") * load("zx", 11)));
+//!
+//! let ma = analyze_ma(&lfk1);
+//! assert_eq!(ma.t_ma_cpl(), 3.0);          // paper Table 3
+//! assert_eq!(ma.t_ma_cpf(), 0.6);          // paper Table 4
+//!
+//! let compiled = compile(&lfk1, 1001, CompileOptions::default())?;
+//! // The compiler reloads ZX twice — 4 memory ops per iteration (MAC).
+//! let l = compiled.program.innermost_loop().unwrap();
+//! let mem = compiled.program.loop_body(l).iter()
+//!     .filter(|i| i.is_vector_memory()).count();
+//! assert_eq!(mem, 4);
+//! # Ok::<(), macs_compiler::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod codegen;
+mod error;
+mod expr;
+mod kernel;
+mod layout;
+
+pub use analysis::{analyze_ma, MaWorkload};
+pub use codegen::{
+    compile, CompileOptions, CompiledKernel, ReductionStyle, ScheduleStrategy,
+};
+pub use error::CompileError;
+pub use expr::{con, load, load_strided, param, BinOp, Expr, StreamRef};
+pub use kernel::{ArrayDecl, Kernel, Stmt};
+pub use layout::Layout;

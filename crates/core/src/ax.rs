@@ -1,0 +1,141 @@
+//! A/X performance measurement code transformers (§3.6).
+//!
+//! The Decoupled Access–Execute view splits a code into the **A**-process
+//! (memory accesses) and the **X**-process (functional execution). The
+//! paper measures each alone by deleting the other's vector instructions
+//! — control flow is unaffected because vectorization never covers the
+//! loop-control scalars — and places the results in the hierarchy next to
+//! `t^m_MACS` and `t^f_MACS`.
+//!
+//! The numerical outputs of transformed code are nonsense by design; the
+//! X-process primes the vector registers with large, relatively prime
+//! values so the garbage arithmetic stays benign.
+
+use c240_isa::Program;
+use c240_sim::Cpu;
+
+/// The A-process: the program with all vector floating point instructions
+/// deleted (memory accesses and scalar control retained).
+///
+/// # Example
+///
+/// ```
+/// use c240_isa::asm::assemble;
+/// let p = assemble("L: ld.l 0(a1),v0\n add.d v0,v0,v1\n st.l v1,0(a2)\n jbrs.t L\n halt")
+///     .unwrap();
+/// let a = macs_core::a_process(&p);
+/// assert_eq!(a.instructions().iter().filter(|i| i.is_vector_fp()).count(), 0);
+/// assert_eq!(a.instructions().iter().filter(|i| i.is_vector_memory()).count(), 2);
+/// ```
+pub fn a_process(program: &Program) -> Program {
+    program.filtered(|_, i| !i.is_vector_fp())
+}
+
+/// The X-process: the program with all vector memory instructions
+/// deleted (floating point and scalar control retained).
+pub fn x_process(program: &Program) -> Program {
+    program.filtered(|_, i| !i.is_vector_memory())
+}
+
+/// Primes every vector register with a distinct large, relatively prime,
+/// nonzero value — the paper's X-process register initialization, which
+/// prevents spurious exceptions when executing arithmetic on deleted-load
+/// operands.
+pub fn prime_registers(cpu: &mut Cpu) {
+    // Large primes, pairwise coprime by construction.
+    const PRIMES: [f64; 8] = [
+        100003.0, 100019.0, 100043.0, 100057.0, 100069.0, 100103.0, 100109.0, 100129.0,
+    ];
+    for (i, &p) in PRIMES.iter().enumerate() {
+        cpu.set_vreg_fill(i as u8, p);
+    }
+    for i in 0..8 {
+        cpu.set_sreg_fp(i, 1000.0 + f64::from(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_isa::asm::assemble;
+    use c240_sim::SimConfig;
+
+    fn sample() -> Program {
+        assemble(
+            "start:
+            mov #1000,s0
+        L:
+            mov s0,vl
+            ld.l 0(a1),v0
+            mul.d v0,s1,v1
+            add.d v1,v0,v2
+            st.l v2,0(a2)
+            add.w #1024,a1
+            add.w #1024,a2
+            sub.w #128,s0
+            lt.w #0,s0
+            jbrs.t L
+            halt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn a_process_keeps_memory_and_control() {
+        let a = a_process(&sample());
+        assert_eq!(a.len(), 12 - 2);
+        assert!(a.instructions().iter().all(|i| !i.is_vector_fp()));
+        assert!(a.innermost_loop().is_some());
+        assert_eq!(a.label("L"), Some(1));
+    }
+
+    #[test]
+    fn x_process_keeps_fp_and_control() {
+        let x = x_process(&sample());
+        assert_eq!(x.len(), 12 - 2);
+        assert!(x.instructions().iter().all(|i| !i.is_vector_memory()));
+        assert!(x.innermost_loop().is_some());
+    }
+
+    #[test]
+    fn transformed_programs_run() {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        prime_registers(&mut cpu);
+        let a_stats = cpu.run(&a_process(&sample())).unwrap();
+        assert!(a_stats.cycles > 0.0);
+        let mut cpu2 = Cpu::new(SimConfig::c240());
+        prime_registers(&mut cpu2);
+        let x_stats = cpu2.run(&x_process(&sample())).unwrap();
+        assert!(x_stats.cycles > 0.0);
+        // Each transformed run is cheaper than the full code.
+        let mut cpu3 = Cpu::new(SimConfig::c240());
+        let full = cpu3.run(&sample()).unwrap();
+        assert!(a_stats.cycles < full.cycles);
+        assert!(x_stats.cycles < full.cycles);
+    }
+
+    #[test]
+    fn ax_band_holds_for_sample() {
+        // Eq. 18: max(t_x, t_a) ≤ t_p ≤ t_x + t_a.
+        let mut cpu = Cpu::new(SimConfig::c240());
+        let t_p = cpu.run(&sample()).unwrap().cycles;
+        let mut cpu_a = Cpu::new(SimConfig::c240());
+        let t_a = cpu_a.run(&a_process(&sample())).unwrap().cycles;
+        let mut cpu_x = Cpu::new(SimConfig::c240());
+        prime_registers(&mut cpu_x);
+        let t_x = cpu_x.run(&x_process(&sample())).unwrap().cycles;
+        assert!(t_p + 1e-6 >= t_a.max(t_x), "t_p {t_p} vs max({t_a},{t_x})");
+        assert!(t_p <= t_a + t_x, "t_p {t_p} vs sum {}", t_a + t_x);
+    }
+
+    #[test]
+    fn priming_fills_registers() {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        prime_registers(&mut cpu);
+        // Run a store of a primed register and observe the value.
+        let p = assemble("mov #1,vl\nst.l v3,0(a1)\nhalt").unwrap();
+        cpu.set_areg(1, 8000);
+        cpu.run(&p).unwrap();
+        assert_eq!(cpu.mem().peek(1000), 100057.0);
+    }
+}

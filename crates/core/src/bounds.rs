@@ -1,0 +1,266 @@
+//! The MACS bounds hierarchy: MA, MAC and MACS for one kernel (§3).
+
+use std::fmt;
+
+use c240_isa::{Instruction, Program, CLOCK_MHZ};
+use macs_compiler::MaWorkload;
+
+use crate::chime::{
+    body_without_fp, body_without_memory, partition_chimes, ChimeConfig, ChimePartition,
+};
+use crate::workload::MacWorkload;
+
+/// The MACS bound with its reduced-instruction-list components (§3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacsBound {
+    /// Chime partition of the full loop body.
+    pub full: ChimePartition,
+    /// Partition of the body with vector memory deleted (`t^f_MACS`).
+    pub f_only: ChimePartition,
+    /// Partition of the body with vector floating point deleted
+    /// (`t^m_MACS`).
+    pub m_only: ChimePartition,
+    /// Partition of the body with *scalar* memory instructions deleted —
+    /// what the schedule would cost if the spilled scalars were hoisted
+    /// (drives the optimization advisor's split-removal estimate).
+    pub no_scalar_mem: ChimePartition,
+}
+
+impl MacsBound {
+    /// Computes the MACS bound of a loop body.
+    pub fn of_body(body: &[Instruction], config: &ChimeConfig) -> Self {
+        let sans_scalar_mem: Vec<Instruction> = body
+            .iter()
+            .filter(|i| !i.is_scalar_memory())
+            .cloned()
+            .collect();
+        MacsBound {
+            full: partition_chimes(body, config),
+            f_only: partition_chimes(&body_without_memory(body), config),
+            m_only: partition_chimes(&body_without_fp(body), config),
+            no_scalar_mem: partition_chimes(&sans_scalar_mem, config),
+        }
+    }
+
+    /// `t_MACS` in CPL.
+    pub fn cpl(&self) -> f64 {
+        self.full.cpl()
+    }
+
+    /// `t^f_MACS` in CPL.
+    pub fn f_cpl(&self) -> f64 {
+        self.f_only.cpl()
+    }
+
+    /// `t^m_MACS` in CPL.
+    pub fn m_cpl(&self) -> f64 {
+        self.m_only.cpl()
+    }
+}
+
+/// The complete analytic bounds hierarchy for one kernel: everything the
+/// paper's Tables 2 and 3 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBounds {
+    /// Kernel name.
+    pub name: String,
+    /// Source-level flops per iteration (`f_a + f_m`), the CPF divisor.
+    pub flops: u32,
+    /// MA workload (source-level, perfect reuse).
+    pub ma: MaWorkload,
+    /// MAC workload (compiled-code operation counts).
+    pub mac: MacWorkload,
+    /// MACS bound (chime partition of the compiled schedule).
+    pub macs: MacsBound,
+    /// The analyzed loop body (kept so downstream tools — the
+    /// optimization advisor, the rescheduler — can re-derive partitions
+    /// under transformations).
+    pub body: Vec<Instruction>,
+    /// The chime model the bounds were computed with.
+    pub chime_config: ChimeConfig,
+}
+
+impl KernelBounds {
+    /// Computes all three bounds from the MA workload and the compiled
+    /// program (whose innermost loop is the vectorized strip loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no loop or the MA workload has no flops.
+    pub fn compute(
+        name: &str,
+        ma: MaWorkload,
+        program: &Program,
+        config: &ChimeConfig,
+    ) -> KernelBounds {
+        let l = program
+            .innermost_loop()
+            .expect("compiled kernel has a strip loop");
+        let body = program.loop_body(l);
+        let flops = ma.f_a + ma.f_m;
+        assert!(flops > 0, "kernel has no floating point work");
+        KernelBounds {
+            name: name.to_string(),
+            flops,
+            ma,
+            mac: MacWorkload::of_body(body),
+            macs: MacsBound::of_body(body, config),
+            body: body.to_vec(),
+            chime_config: config.clone(),
+        }
+    }
+
+    /// `t_MA` in CPL.
+    pub fn t_ma_cpl(&self) -> f64 {
+        self.ma.t_ma_cpl()
+    }
+
+    /// `t_MAC` in CPL.
+    pub fn t_mac_cpl(&self) -> f64 {
+        self.mac.t_mac_cpl()
+    }
+
+    /// `t_MACS` in CPL.
+    pub fn t_macs_cpl(&self) -> f64 {
+        self.macs.cpl()
+    }
+
+    /// `t_MA` in CPF.
+    pub fn t_ma_cpf(&self) -> f64 {
+        self.t_ma_cpl() / f64::from(self.flops)
+    }
+
+    /// `t_MAC` in CPF.
+    pub fn t_mac_cpf(&self) -> f64 {
+        self.t_mac_cpl() / f64::from(self.flops)
+    }
+
+    /// `t_MACS` in CPF.
+    pub fn t_macs_cpf(&self) -> f64 {
+        self.t_macs_cpl() / f64::from(self.flops)
+    }
+
+    /// Checks the hierarchy invariant `t_MA ≤ t_MAC ≤ t_MACS` (within
+    /// floating point tolerance).
+    pub fn is_monotone(&self) -> bool {
+        let eps = 1e-9;
+        self.t_ma_cpl() <= self.t_mac_cpl() + eps
+            && self.t_mac_cpl() <= self.t_macs_cpl() + eps
+    }
+}
+
+impl fmt::Display for KernelBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        writeln!(f, "  MA   {}", self.ma)?;
+        writeln!(f, "  MAC  {}", self.mac)?;
+        writeln!(
+            f,
+            "  MACS t_MACS={:.3} CPL ({:.3} CPF), t^f={:.3}, t^m={:.3}, {} chimes, {} scalar splits",
+            self.t_macs_cpl(),
+            self.t_macs_cpf(),
+            self.macs.f_cpl(),
+            self.macs.m_cpl(),
+            self.macs.full.chimes().len(),
+            self.macs.full.scalar_splits(),
+        )
+    }
+}
+
+/// Harmonic-mean MFLOPS over a set of per-kernel CPF values (Eq. 4):
+/// `clock(MHz) / mean(CPF)`.
+///
+/// # Panics
+///
+/// Panics if `cpfs` is empty.
+///
+/// ```
+/// // The paper's Table 4: average bound CPF 1.080 → 23.15 MFLOPS.
+/// let mflops = macs_core::hmean_mflops(&[1.080]);
+/// assert!((mflops - 23.15).abs() < 0.01);
+/// ```
+pub fn hmean_mflops(cpfs: &[f64]) -> f64 {
+    assert!(!cpfs.is_empty(), "need at least one CPF value");
+    let avg = cpfs.iter().sum::<f64>() / cpfs.len() as f64;
+    CLOCK_MHZ / avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_isa::asm::assemble;
+
+    fn lfk1_ma() -> MaWorkload {
+        MaWorkload {
+            f_a: 2,
+            f_m: 3,
+            loads: 2,
+            stores: 1,
+        }
+    }
+
+    fn lfk1_program() -> Program {
+        assemble(
+            "L7:
+            mov s0,vl
+            ld.l 40120(a5),v0
+            mul.d v0,s1,v1
+            ld.l 40128(a5),v2
+            mul.d v2,s3,v0
+            add.d v1,v0,v3
+            ld.l 32032(a5),v1
+            mul.d v1,v3,v2
+            add.d v2,s7,v0
+            st.l v0,24024(a5)
+            add.w #1024,a5
+            sub.w #128,s0
+            lt.w #0,s0
+            jbrs.t L7
+            halt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lfk1_full_hierarchy_matches_paper() {
+        let b = KernelBounds::compute("LFK1", lfk1_ma(), &lfk1_program(), &ChimeConfig::c240());
+        assert_eq!(b.t_ma_cpl(), 3.0);
+        assert_eq!(b.t_mac_cpl(), 4.0);
+        assert!((b.t_macs_cpl() - 4.200).abs() < 0.001);
+        assert_eq!(b.t_ma_cpf(), 0.600);
+        assert_eq!(b.t_mac_cpf(), 0.800);
+        assert!((b.t_macs_cpf() - 0.840).abs() < 0.001);
+        assert!(b.is_monotone());
+    }
+
+    #[test]
+    fn display_contains_all_levels() {
+        let b = KernelBounds::compute("LFK1", lfk1_ma(), &lfk1_program(), &ChimeConfig::c240());
+        let text = b.to_string();
+        assert!(text.contains("MA "));
+        assert!(text.contains("MAC "));
+        assert!(text.contains("t_MACS"));
+    }
+
+    #[test]
+    fn hmean() {
+        // Table 4: avg measured CPF 1.900 → 13.16 MFLOPS.
+        assert!((hmean_mflops(&[1.900]) - 13.16).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn hmean_empty_panics() {
+        let _ = hmean_mflops(&[]);
+    }
+
+    #[test]
+    fn macs_bound_components() {
+        let p = lfk1_program();
+        let l = p.innermost_loop().unwrap();
+        let m = MacsBound::of_body(p.loop_body(l), &ChimeConfig::c240());
+        assert!(m.f_cpl() < m.cpl());
+        assert!(m.m_cpl() < m.cpl());
+        assert!((m.f_cpl() - 3.039).abs() < 0.01);
+    }
+}

@@ -1,0 +1,321 @@
+//! Automated gap diagnosis: the §4.4 reasoning as decision rules.
+//!
+//! Each [`Finding`] names a specific cause of lost performance, derived
+//! from the relative positions of the bounds and measurements in the
+//! hierarchy — the paper's per-kernel commentary, mechanized.
+
+use std::fmt;
+
+use crate::analysis::KernelAnalysis;
+
+/// A diagnosed cause of performance loss (or an all-clear).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Finding {
+    /// The MACS bound explains ~90% or more of measured time: the
+    /// schedule model captures the loop; optimize the workload, not the
+    /// model (LFK 1, 3, 7, 8, 9, 10, 12 — the paper's §4.4 counts 86-91%
+    /// as "small gap").
+    NearBound {
+        /// `t_MACS / t_p`.
+        explained: f64,
+    },
+    /// The compiler inserted memory operations beyond the ideal —
+    /// typically reloads of shifted reused vectors (LFK 1, 7, 12).
+    CompilerInsertedMemOps {
+        /// `t'_m − t_m` in CPL.
+        extra_cpl: f64,
+    },
+    /// Vector adds and multiplies do not overlap perfectly into chimes:
+    /// `t^f_MACS − t'_f > 1` (LFK 7's ninth chime).
+    ImperfectFpOverlap {
+        /// `t^f_MACS − t'_f` in CPL.
+        gap_cpl: f64,
+    },
+    /// Scalar memory accesses split potential chimes; `t_MACS` rises
+    /// far above `t'_m` and `t'_f` (LFK 8).
+    ScalarSplitsChimes {
+        /// Number of forced chime boundaries per iteration.
+        splits: u32,
+    },
+    /// The A- and X-processes overlap poorly:
+    /// `t_p` is much greater than `max(t_a, t_x)` (LFK 2, 4, 6, 8).
+    PoorAxOverlap {
+        /// Overlap quality, 1 = perfect, 0 = fully serialized.
+        overlap: f64,
+    },
+    /// Memory accesses dominate: `t_a ≫ t_x` and `t_p ≈ t_a`.
+    MemoryBottleneck,
+    /// Vector reductions interact badly with memory accesses:
+    /// execute-only time dominates and the loop carries a reduction
+    /// (LFK 4, 6).
+    ReductionBottleneck,
+    /// Much of the measured time is unmodeled (outer-loop overhead,
+    /// short vectors, scalar code): `t_MACS` explains little of `t_p`
+    /// (LFK 2, 4, 6).
+    UnmodeledEffects {
+        /// `t_MACS / t_p`.
+        explained: f64,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::NearBound { explained } => write!(
+                f,
+                "MACS bound explains {:.1}% of run time; the schedule model captures this loop",
+                100.0 * explained
+            ),
+            Finding::CompilerInsertedMemOps { extra_cpl } => write!(
+                f,
+                "compiler inserted {extra_cpl:.1} extra memory ops/iteration beyond perfect reuse \
+                 (vector reload of shifted reused data)"
+            ),
+            Finding::ImperfectFpOverlap { gap_cpl } => write!(
+                f,
+                "adds and multiplies overlap imperfectly into chimes (t^f exceeds t'_f by \
+                 {gap_cpl:.2} CPL)"
+            ),
+            Finding::ScalarSplitsChimes { splits } => write!(
+                f,
+                "{splits} scalar memory access(es) per iteration split potential chimes"
+            ),
+            Finding::PoorAxOverlap { overlap } => write!(
+                f,
+                "access and execute processes overlap poorly (overlap quality {overlap:.2})"
+            ),
+            Finding::MemoryBottleneck => {
+                write!(f, "performance is bottlenecked in the access (memory) process")
+            }
+            Finding::ReductionBottleneck => write!(
+                f,
+                "vector reduction interacts with memory accesses as the chief bottleneck"
+            ),
+            Finding::UnmodeledEffects { explained } => write!(
+                f,
+                "unmodeled effects dominate: MACS explains only {:.1}% (outer-loop overhead, \
+                 short vectors, scalar code)",
+                100.0 * explained
+            ),
+        }
+    }
+}
+
+/// Applies the §4.4 decision rules to an analysis.
+pub fn diagnose(a: &KernelAnalysis) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let explained = a.pct_macs();
+
+    if explained >= 0.88 {
+        findings.push(Finding::NearBound { explained });
+    } else if explained < 0.75 {
+        findings.push(Finding::UnmodeledEffects { explained });
+    }
+
+    let extra_mem = a.bounds.mac.t_m() - a.bounds.ma.t_m();
+    if extra_mem >= 1.0 {
+        findings.push(Finding::CompilerInsertedMemOps {
+            extra_cpl: extra_mem,
+        });
+    }
+
+    let fp_gap = a.bounds.macs.f_cpl() - a.bounds.mac.t_f();
+    if fp_gap > 1.0 {
+        findings.push(Finding::ImperfectFpOverlap { gap_cpl: fp_gap });
+    }
+
+    let splits = a.bounds.macs.full.scalar_splits();
+    if splits > 0 {
+        findings.push(Finding::ScalarSplitsChimes { splits });
+    }
+
+    let overlap = a.ax_overlap();
+    if overlap < 0.6 {
+        findings.push(Finding::PoorAxOverlap { overlap });
+    }
+
+    if a.t_a_cpl() > 1.25 * a.t_x_cpl() && a.pct_macs() >= 0.75 {
+        findings.push(Finding::MemoryBottleneck);
+    }
+
+    if a.has_reduction && a.t_x_cpl() > 1.1 * a.t_a_cpl() {
+        findings.push(Finding::ReductionBottleneck);
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_kernel;
+    use crate::chime::ChimeConfig;
+    use c240_isa::asm::assemble;
+    use c240_sim::SimConfig;
+    use macs_compiler::MaWorkload;
+
+    fn analyze(src: &str, ma: MaWorkload, iterations: u64) -> KernelAnalysis {
+        let p = assemble(src).unwrap();
+        analyze_kernel(
+            "test",
+            ma,
+            &p,
+            iterations,
+            &|cpu| {
+                cpu.set_sreg_fp(1, 2.0);
+            },
+            &SimConfig::c240(),
+            &ChimeConfig::c240(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_loop_is_near_bound() {
+        let a = analyze(
+            "   mov #2560,s0
+            L:
+                mov s0,vl
+                ld.l 0(a1),v0
+                mul.d v0,s1,v1
+                st.l v1,0(a2)
+                add.w #1024,a1
+                add.w #1024,a2
+                sub.w #128,s0
+                lt.w #0,s0
+                jbrs.t L
+                halt",
+            MaWorkload {
+                f_a: 0,
+                f_m: 1,
+                loads: 1,
+                stores: 1,
+            },
+            2560,
+        );
+        let findings = a.findings();
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, Finding::NearBound { .. })),
+            "{findings:?}"
+        );
+        // Memory-bound loop: t_a >> t_x.
+        assert!(findings.iter().any(|f| matches!(f, Finding::MemoryBottleneck)));
+    }
+
+    #[test]
+    fn compiler_reloads_are_flagged() {
+        // MA says 1 load; the code does 3 (LFK1-style reloads).
+        let a = analyze(
+            "   mov #2560,s0
+            L:
+                mov s0,vl
+                ld.l 0(a1),v0
+                ld.l 8(a1),v1
+                ld.l 16(a1),v2
+                add.d v0,v1,v3
+                add.d v3,v2,v4
+                st.l v4,0(a2)
+                add.w #1024,a1
+                add.w #1024,a2
+                sub.w #128,s0
+                lt.w #0,s0
+                jbrs.t L
+                halt",
+            MaWorkload {
+                f_a: 2,
+                f_m: 0,
+                loads: 1,
+                stores: 1,
+            },
+            2560,
+        );
+        assert!(a
+            .findings()
+            .iter()
+            .any(|f| matches!(f, Finding::CompilerInsertedMemOps { .. })));
+    }
+
+    #[test]
+    fn scalar_splits_are_flagged() {
+        let a = analyze(
+            "   mov #2560,s0
+            L:
+                mov s0,vl
+                ld.l 0(a1),v0
+                ld.w 0(a0),a3
+                ld.l 0(a3),v1
+                add.d v0,v1,v2
+                st.l v2,0(a2)
+                add.w #1024,a1
+                add.w #1024,a2
+                sub.w #128,s0
+                lt.w #0,s0
+                jbrs.t L
+                halt",
+            MaWorkload {
+                f_a: 1,
+                f_m: 0,
+                loads: 2,
+                stores: 1,
+            },
+            2560,
+        );
+        assert!(a
+            .findings()
+            .iter()
+            .any(|f| matches!(f, Finding::ScalarSplitsChimes { .. })));
+    }
+
+    #[test]
+    fn reduction_bottleneck_flagged() {
+        let a = analyze(
+            "   mov #2560,s0
+            L:
+                mov s0,vl
+                ld.l 0(a1),v0
+                mul.d v0,s1,v1
+                radd.d v1,s2
+                add.w #1024,a1
+                sub.w #128,s0
+                lt.w #0,s0
+                jbrs.t L
+                halt",
+            MaWorkload {
+                f_a: 1,
+                f_m: 1,
+                loads: 1,
+                stores: 0,
+            },
+            2560,
+        );
+        assert!(a.has_reduction);
+        let findings = a.findings();
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, Finding::ReductionBottleneck)),
+            "{findings:?} t_x={} t_a={}",
+            a.t_x_cpl(),
+            a.t_a_cpl()
+        );
+    }
+
+    #[test]
+    fn findings_display() {
+        for f in [
+            Finding::NearBound { explained: 0.95 },
+            Finding::CompilerInsertedMemOps { extra_cpl: 1.0 },
+            Finding::ImperfectFpOverlap { gap_cpl: 1.1 },
+            Finding::ScalarSplitsChimes { splits: 8 },
+            Finding::PoorAxOverlap { overlap: 0.3 },
+            Finding::MemoryBottleneck,
+            Finding::ReductionBottleneck,
+            Finding::UnmodeledEffects { explained: 0.4 },
+        ] {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

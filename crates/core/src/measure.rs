@@ -1,0 +1,118 @@
+//! Measurement harness: running programs on the simulator and converting
+//! to the paper's units (CPL, CPF, MFLOPS).
+
+use std::fmt;
+
+use c240_isa::{Program, CLOCK_MHZ};
+use c240_sim::{Cpu, RunStats, SimError};
+
+/// One measured run in the paper's units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Raw simulator statistics.
+    pub stats: RunStats,
+    /// Source-loop iterations the run executed.
+    pub iterations: u64,
+    /// Source flops per iteration (the CPF divisor).
+    pub flops_per_iteration: u32,
+}
+
+impl Measurement {
+    /// Cycles per source-loop iteration.
+    pub fn cpl(&self) -> f64 {
+        self.stats.cpl(self.iterations)
+    }
+
+    /// Cycles per (source) floating point operation.
+    pub fn cpf(&self) -> f64 {
+        self.cpl() / f64::from(self.flops_per_iteration.max(1))
+    }
+
+    /// Delivered MFLOPS at the C-240 clock, based on *source* flops
+    /// (the paper's accounting — compiler-added work does not count as
+    /// useful flops).
+    pub fn mflops(&self) -> f64 {
+        CLOCK_MHZ / self.cpf()
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} cycles over {} iterations = {:.3} CPL = {:.3} CPF = {:.2} MFLOPS",
+            self.stats.cycles,
+            self.iterations,
+            self.cpl(),
+            self.cpf(),
+            self.mflops()
+        )
+    }
+}
+
+/// Runs `program` on `cpu` and expresses the result per source iteration.
+///
+/// The caller is responsible for having initialized memory and registers
+/// on the CPU (the run keeps them, see [`Cpu::run`]).
+///
+/// # Errors
+///
+/// Propagates simulator errors (runaway loop, bad address).
+pub fn measure(
+    cpu: &mut Cpu,
+    program: &Program,
+    iterations: u64,
+    flops_per_iteration: u32,
+) -> Result<Measurement, SimError> {
+    let stats = cpu.run(program)?;
+    Ok(Measurement {
+        stats,
+        iterations,
+        flops_per_iteration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_isa::ProgramBuilder;
+    use c240_sim::SimConfig;
+
+    #[test]
+    fn measure_simple_loop() {
+        let mut b = ProgramBuilder::new();
+        b.mov_int(1024, "s0");
+        b.label("L");
+        b.set_vl("s0");
+        b.vload("a1", 0, "v0");
+        b.vadd("v0", "v0", "v1");
+        b.vstore("v1", "a2", 0);
+        b.int_op_imm("add", 1024, "a1");
+        b.int_op_imm("add", 1024, "a2");
+        b.int_op_imm("sub", 128, "s0");
+        b.cmp_imm("lt", 0, "s0");
+        b.branch_true("L");
+        b.halt();
+        let p = b.build().unwrap();
+        let mut cpu = Cpu::new(SimConfig::c240().without_refresh());
+        cpu.set_areg(2, 80000);
+        let m = measure(&mut cpu, &p, 1024, 1).unwrap();
+        // Two memory chimes per iteration: ~2 CPL steady state plus
+        // startup amortized over 8 strips.
+        assert!(m.cpl() > 2.0 && m.cpl() < 2.4, "cpl {}", m.cpl());
+        assert_eq!(m.cpf(), m.cpl());
+        assert!((m.mflops() - CLOCK_MHZ / m.cpf()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.halt();
+        let mut cpu = Cpu::new(SimConfig::c240());
+        let m = measure(&mut cpu, &b.build().unwrap(), 1, 1).unwrap();
+        let text = m.to_string();
+        assert!(text.contains("CPL"));
+        assert!(text.contains("MFLOPS"));
+    }
+}

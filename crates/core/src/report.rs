@@ -1,0 +1,197 @@
+//! Rendering helpers: text tables (for the regenerated paper tables),
+//! CSV export, and the Figure-1 hierarchy picture.
+
+use std::fmt::Write as _;
+
+use crate::analysis::KernelAnalysis;
+
+/// A simple aligned text table with CSV export — the output format of
+/// every regenerated paper table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let line = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.extend(std::iter::repeat_n('-', w + 2));
+            }
+            out.push_str("+\n");
+        };
+        line(&mut out);
+        for (w, h) in widths.iter().zip(&self.headers) {
+            let _ = write!(out, "| {h:>w$} ");
+        }
+        out.push_str("|\n");
+        line(&mut out);
+        for row in &self.rows {
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(out, "| {cell:>w$} ");
+            }
+            out.push_str("|\n");
+        }
+        line(&mut out);
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Renders the Figure 1 hierarchy for one kernel with its numbers filled
+/// in: measured times above, calculated bounds below, gaps annotated.
+pub fn hierarchy_figure(a: &KernelAnalysis) -> String {
+    let mut out = String::new();
+    let name = &a.bounds.name;
+    let _ = writeln!(out, "Hierarchy of performance models and measurements — {name}");
+    let _ = writeln!(out, "(all values in CPL; Figure 1 of the paper)");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  MEASURED     t_x = {:>8.3}   t_a = {:>8.3}   == MERGE ==>  t_p    = {:>8.3}",
+        a.t_x_cpl(),
+        a.t_a_cpl(),
+        a.t_p_cpl()
+    );
+    let _ = writeln!(
+        out,
+        "  MACS         t^f = {:>8.3}   t^m = {:>8.3}   == MERGE ==>  t_MACS = {:>8.3}",
+        a.bounds.macs.f_cpl(),
+        a.bounds.macs.m_cpl(),
+        a.bounds.t_macs_cpl()
+    );
+    let _ = writeln!(
+        out,
+        "  MAC          t'_f= {:>8.3}   t'_m= {:>8.3}   == MAX   ==>  t_MAC  = {:>8.3}",
+        a.bounds.mac.t_f(),
+        a.bounds.mac.t_m(),
+        a.bounds.t_mac_cpl()
+    );
+    let _ = writeln!(
+        out,
+        "  MA           t_f = {:>8.3}   t_m = {:>8.3}   == MAX   ==>  t_MA   = {:>8.3}",
+        a.bounds.ma.t_f(),
+        a.bounds.ma.t_m(),
+        a.bounds.t_ma_cpl()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  gaps: MA→MAC {:+.3}  MAC→MACS {:+.3}  MACS→measured {:+.3}",
+        a.bounds.t_mac_cpl() - a.bounds.t_ma_cpl(),
+        a.bounds.t_macs_cpl() - a.bounds.t_mac_cpl(),
+        a.t_p_cpl() - a.bounds.t_macs_cpl()
+    );
+    for finding in a.findings() {
+        let _ = writeln!(out, "  * {finding}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Table X", &["LFK", "t_MA", "t_p"]);
+        t.row(vec!["1".into(), "0.600".into(), "0.852".into()]);
+        t.row(vec!["12".into(), "2.000".into(), "3.182".into()]);
+        let text = t.render();
+        assert!(text.contains("Table X"));
+        assert!(text.contains("0.852"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TextTable::new("t", &["a", "b"]);
+        t.row(vec!["x,y".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.lines().count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new("t", &["a", "b"]);
+        t.row(vec!["only".into()]);
+    }
+}

@@ -1,0 +1,189 @@
+//! MAC workload counting: operation counts of the *compiler-generated*
+//! code (§3.1).
+//!
+//! Where the MA model counts operations in the high-level source with
+//! perfect reuse, the MAC model counts the vector operations actually
+//! present in the compiled loop body — including compiler-inserted
+//! reloads and spills.
+
+use std::fmt;
+
+use c240_isa::{Instruction, Pipe, Program};
+
+/// Vector operation counts of a compiled loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MacWorkload {
+    /// Vector add-class instructions per iteration (`f'_a`).
+    pub f_a: u32,
+    /// Vector multiply-class instructions per iteration (`f'_m`).
+    pub f_m: u32,
+    /// Vector loads per iteration (`l'`).
+    pub loads: u32,
+    /// Vector stores per iteration (`s'`).
+    pub stores: u32,
+    /// Scalar memory instructions per iteration (not part of the MAC
+    /// bound, but reported because they split chimes in the MACS bound).
+    pub scalar_mem: u32,
+}
+
+impl MacWorkload {
+    /// Counts the vector operations of an instruction sequence
+    /// (typically one inner-loop body).
+    pub fn of_body(body: &[Instruction]) -> Self {
+        let mut w = MacWorkload::default();
+        for ins in body {
+            match ins {
+                Instruction::VLoad { .. } => w.loads += 1,
+                Instruction::VStore { .. } => w.stores += 1,
+                _ if ins.is_vector_fp() => match ins.pipe() {
+                    Some(Pipe::Add) => w.f_a += 1,
+                    Some(Pipe::Multiply) => w.f_m += 1,
+                    _ => {}
+                },
+                _ if ins.is_scalar_memory() => w.scalar_mem += 1,
+                _ => {}
+            }
+        }
+        w
+    }
+
+    /// Counts the vector operations of a program's innermost loop.
+    ///
+    /// Returns `None` if the program has no loop.
+    pub fn of_program(program: &Program) -> Option<Self> {
+        let l = program.innermost_loop()?;
+        Some(Self::of_body(program.loop_body(l)))
+    }
+
+    /// `t'_f = max(f'_a, f'_m)` in CPL.
+    pub fn t_f(&self) -> f64 {
+        f64::from(self.f_a.max(self.f_m))
+    }
+
+    /// `t'_m = l' + s'` in CPL.
+    pub fn t_m(&self) -> f64 {
+        f64::from(self.loads + self.stores)
+    }
+
+    /// `t_MAC = max(t'_f, t'_m)` in CPL (Eq. 1 applied to compiled code).
+    pub fn t_mac_cpl(&self) -> f64 {
+        self.t_f().max(self.t_m())
+    }
+
+    /// `t_MAC` in CPF (Eq. 3): CPL divided by the *source* flop count
+    /// `f_a + f_m` (the denominator is always the high-level count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source_flops` is zero.
+    pub fn t_mac_cpf(&self, source_flops: u32) -> f64 {
+        assert!(source_flops > 0, "CPF undefined for zero flops");
+        self.t_mac_cpl() / f64::from(source_flops)
+    }
+}
+
+impl fmt::Display for MacWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f'_a={} f'_m={} l'={} s'={} (t'_f={}, t'_m={}, t_MAC={} CPL)",
+            self.f_a,
+            self.f_m,
+            self.loads,
+            self.stores,
+            self.t_f(),
+            self.t_m(),
+            self.t_mac_cpl()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_isa::asm::assemble;
+
+    /// The paper's LFK1 compiled listing (§3.5).
+    fn lfk1() -> Program {
+        assemble(
+            "L7:
+                mov s0,vl
+                ld.l 40120(a5),v0
+                mul.d v0,s1,v1
+                ld.l 40128(a5),v2
+                mul.d v2,s3,v0
+                add.d v1,v0,v3
+                ld.l 32032(a5),v1
+                mul.d v1,v3,v2
+                add.d v2,s7,v0
+                st.l v0,24024(a5)
+                add.w #1024,a5
+                sub.w #128,s0
+                lt.w #0,s0
+                jbrs.t L7
+                halt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lfk1_mac_counts_match_paper() {
+        let w = MacWorkload::of_program(&lfk1()).unwrap();
+        assert_eq!(w.f_a, 2);
+        assert_eq!(w.f_m, 3);
+        assert_eq!(w.loads, 3);
+        assert_eq!(w.stores, 1);
+        assert_eq!(w.scalar_mem, 0);
+        assert_eq!(w.t_f(), 3.0);
+        assert_eq!(w.t_m(), 4.0);
+        assert_eq!(w.t_mac_cpl(), 4.0); // paper Table 3
+        assert_eq!(w.t_mac_cpf(5), 0.8); // paper Table 4
+    }
+
+    #[test]
+    fn straight_line_has_no_loop() {
+        let p = assemble("nop\nhalt").unwrap();
+        assert_eq!(MacWorkload::of_program(&p), None);
+    }
+
+    #[test]
+    fn scalar_mem_counted_separately() {
+        let p = assemble(
+            "L:
+                ld.l 0(a1),v0
+                ld.w 0(a0),a7
+                st.l v0,0(a2)
+                jbrs.t L
+                halt",
+        )
+        .unwrap();
+        let w = MacWorkload::of_program(&p).unwrap();
+        assert_eq!(w.loads, 1);
+        assert_eq!(w.stores, 1);
+        assert_eq!(w.scalar_mem, 1);
+        assert_eq!(w.t_m(), 2.0);
+    }
+
+    #[test]
+    fn reductions_count_as_add_class() {
+        let p = assemble(
+            "L:
+                ld.l 0(a1),v0
+                mul.d v0,v0,v1
+                radd.d v1,s2
+                jbrs.t L
+                halt",
+        )
+        .unwrap();
+        let w = MacWorkload::of_program(&p).unwrap();
+        assert_eq!(w.f_a, 1);
+        assert_eq!(w.f_m, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero flops")]
+    fn cpf_zero_flops_panics() {
+        let w = MacWorkload::default();
+        let _ = w.t_mac_cpf(0);
+    }
+}

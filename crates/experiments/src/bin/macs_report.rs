@@ -1,0 +1,138 @@
+//! `macs-report` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! macs-report [ARTIFACT...] [--csv DIR]
+//!
+//! ARTIFACT: table1 table2 table3 table4 table5 fig1 fig2 fig3 lfk1 all
+//!           (default: all)
+//! --csv DIR: additionally write each table as CSV into DIR
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use c240_sim::SimConfig;
+use macs_core::ChimeConfig;
+use macs_experiments::{figures, tables, worked_example, Suite};
+
+struct Args {
+    artifacts: Vec<String>,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut artifacts = Vec::new();
+    let mut csv_dir = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => {
+                let dir = it.next().ok_or("--csv requires a directory")?;
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|all]... [--csv DIR]"
+                        .to_string(),
+                )
+            }
+            known @ ("table1" | "table2" | "table3" | "table4" | "table5" | "fig1" | "fig2"
+            | "fig3" | "lfk1" | "asm" | "all") => artifacts.push(known.to_string()),
+            other => return Err(format!("unknown artifact `{other}` (try --help)")),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".to_string());
+    }
+    Ok(Args { artifacts, csv_dir })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let want = |name: &str| {
+        args.artifacts.iter().any(|a| a == name) || args.artifacts.iter().any(|a| a == "all")
+    };
+
+    let sim = SimConfig::c240();
+    let chime = ChimeConfig::c240();
+    let needs_suite = ["table2", "table3", "table4", "table5", "fig1", "fig3"]
+        .iter()
+        .any(|a| want(a));
+    let suite = if needs_suite {
+        eprintln!("running the ten-kernel case study (bounds + 3 measurements each)...");
+        Some(Suite::run())
+    } else {
+        None
+    };
+
+    let mut csv_outputs: Vec<(String, String)> = Vec::new();
+    let mut emit_table = |t: &macs_core::TextTable, file: &str| {
+        println!("{}", t.render());
+        csv_outputs.push((file.to_string(), t.to_csv()));
+    };
+
+    if want("table1") {
+        emit_table(&tables::table1(&sim), "table1.csv");
+    }
+    if let Some(suite) = &suite {
+        if want("table2") {
+            emit_table(&tables::table2(suite), "table2.csv");
+        }
+        if want("table3") {
+            emit_table(&tables::table3(suite), "table3.csv");
+        }
+        if want("table4") {
+            emit_table(&tables::table4(suite), "table4.csv");
+        }
+        if want("table5") {
+            emit_table(&tables::table5(suite), "table5.csv");
+        }
+        if want("fig1") {
+            println!("{}", figures::fig1(suite));
+        }
+        if want("fig3") {
+            eprintln!("measuring the loaded-machine (multi-process) runs...");
+            emit_table(&figures::fig3(suite), "fig3.csv");
+            println!("{}", figures::fig3_bars(suite));
+        }
+    }
+    if want("fig2") {
+        println!("{}", figures::fig2(&sim));
+    }
+    if want("lfk1") {
+        println!("{}", worked_example(&sim, &chime));
+    }
+    if want("asm") {
+        for kernel in lfk_suite::all() {
+            println!(
+                "; ===== LFK{} — {} =====\n; {}\n{}",
+                kernel.id(),
+                kernel.name(),
+                kernel.fortran().replace('\n', "\n; "),
+                kernel.program()
+            );
+        }
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (file, csv) in &csv_outputs {
+            let path = dir.join(file);
+            if let Err(e) = std::fs::write(&path, csv) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,225 @@
+//! Regeneration of the paper's five tables.
+
+use c240_sim::SimConfig;
+use macs_core::{calibrate_all, TextTable};
+
+use crate::paper;
+use crate::Suite;
+
+fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Table 1: vector instruction execution times (X, Y, Z, B at VL = 128),
+/// derived by running calibration loops against the simulator and
+/// compared to the specification.
+pub fn table1(sim: &SimConfig) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 1: Vector Instruction Execution Times (VL = 128, calibrated)",
+        &[
+            "instruction",
+            "format",
+            "X",
+            "Y fit",
+            "Z fit",
+            "B fit",
+            "Y spec",
+            "Z spec",
+            "B spec",
+        ],
+    );
+    for row in calibrate_all(sim).expect("calibration loops simulate cleanly") {
+        t.row(vec![
+            row.class.to_string(),
+            row.class.example_format().to_string(),
+            format!("{:.0}", row.x),
+            f2(row.y),
+            f2(row.z),
+            f2(row.b),
+            format!("{}", row.spec.y),
+            format!("{}", row.spec.z),
+            format!("{}", row.spec.b),
+        ]);
+    }
+    t
+}
+
+/// Table 2: the LFK workload — MA counts and the compiled (MAC) counts
+/// where they differ, per iteration.
+pub fn table2(suite: &Suite) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 2: LFK Work Load (MA counts; MAC shown where it differs)",
+        &[
+            "LFK", "f_a", "f_m", "l", "s", "f'_a", "f'_m", "l'", "s'", "scalar mem",
+        ],
+    );
+    for r in &suite.rows {
+        let ma = &r.analysis.bounds.ma;
+        let mac = &r.analysis.bounds.mac;
+        let dash = |a: u32, b: u32| {
+            if a == b {
+                "-".to_string()
+            } else {
+                b.to_string()
+            }
+        };
+        t.row(vec![
+            r.id.to_string(),
+            ma.f_a.to_string(),
+            ma.f_m.to_string(),
+            ma.loads.to_string(),
+            ma.stores.to_string(),
+            dash(ma.f_a, mac.f_a),
+            dash(ma.f_m, mac.f_m),
+            dash(ma.loads, mac.loads),
+            dash(ma.stores, mac.stores),
+            mac.scalar_mem.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Table 3: the bounds and their components, in CPL.
+pub fn table3(suite: &Suite) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 3: Performance Bounds (CPL)",
+        &[
+            "LFK", "t_f", "t_m", "t'_f", "t'_m", "t^f_MACS", "t^m_MACS", "t_MA", "t_MAC",
+            "t_MACS",
+        ],
+    );
+    for r in &suite.rows {
+        let b = &r.analysis.bounds;
+        t.row(vec![
+            r.id.to_string(),
+            f2(b.ma.t_f()),
+            f2(b.ma.t_m()),
+            f2(b.mac.t_f()),
+            f2(b.mac.t_m()),
+            f2(b.macs.f_cpl()),
+            f2(b.macs.m_cpl()),
+            f2(b.t_ma_cpl()),
+            f2(b.t_mac_cpl()),
+            f2(b.t_macs_cpl()),
+        ]);
+    }
+    t
+}
+
+/// Table 4: bounds vs measured performance in CPF, with the percentage
+/// of measured time each bound explains, the column averages, the
+/// harmonic-mean MFLOPS, and the paper's measured column alongside.
+pub fn table4(suite: &Suite) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 4: Comparison of Bounds with Measured Performance (CPF)",
+        &[
+            "LFK", "t_MA", "t_MAC", "t_MACS", "t_p", "%MA", "%MAC", "%MACS", "paper t_p",
+        ],
+    );
+    let mut sums = [0.0f64; 4];
+    for r in &suite.rows {
+        let a = &r.analysis;
+        let cols = [
+            a.bounds.t_ma_cpf(),
+            a.bounds.t_mac_cpf(),
+            a.bounds.t_macs_cpf(),
+            a.t_p_cpf(),
+        ];
+        for (s, c) in sums.iter_mut().zip(cols) {
+            *s += c;
+        }
+        let paper_tp = paper::table4_row(r.id).map(|p| p.t_p).unwrap_or(f64::NAN);
+        t.row(vec![
+            r.id.to_string(),
+            f3(cols[0]),
+            f3(cols[1]),
+            f3(cols[2]),
+            f3(cols[3]),
+            pct(a.pct_ma()),
+            pct(a.pct_mac()),
+            pct(a.pct_macs()),
+            f3(paper_tp),
+        ]);
+    }
+    let n = suite.rows.len() as f64;
+    t.row(vec![
+        "AVG".into(),
+        f3(sums[0] / n),
+        f3(sums[1] / n),
+        f3(sums[2] / n),
+        f3(sums[3] / n),
+        "".into(),
+        "".into(),
+        "".into(),
+        f3(paper::TABLE4_AVG[3]),
+    ]);
+    t.row(vec![
+        "MFLOPS".into(),
+        f2(macs_core::hmean_mflops(&[sums[0] / n])),
+        f2(macs_core::hmean_mflops(&[sums[1] / n])),
+        f2(macs_core::hmean_mflops(&[sums[2] / n])),
+        f2(macs_core::hmean_mflops(&[sums[3] / n])),
+        "".into(),
+        "".into(),
+        "".into(),
+        f2(paper::TABLE4_MFLOPS[3]),
+    ]);
+    t
+}
+
+/// Table 5: MACS bounds and A/X measurements in CPL.
+pub fn table5(suite: &Suite) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 5: MACS Bounds and Measurements (CPL)",
+        &[
+            "LFK", "t_p", "t_MACS", "t_x", "t^f_MACS", "t_a", "t^m_MACS", "overlap",
+            "paper t_p",
+        ],
+    );
+    for r in &suite.rows {
+        let a = &r.analysis;
+        let paper_tp = paper::TABLE5_TP_TMACS
+            .iter()
+            .find(|(id, _, _)| *id == r.id)
+            .map(|(_, tp, _)| *tp)
+            .unwrap_or(f64::NAN);
+        t.row(vec![
+            r.id.to_string(),
+            f2(a.t_p_cpl()),
+            f2(a.bounds.t_macs_cpl()),
+            f2(a.t_x_cpl()),
+            f2(a.bounds.macs.f_cpl()),
+            f2(a.t_a_cpl()),
+            f2(a.bounds.macs.m_cpl()),
+            f2(a.ax_overlap()),
+            f2(paper_tp),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_sim::SimConfig;
+
+    #[test]
+    fn table1_has_all_classes_and_matches_spec() {
+        let t = table1(&SimConfig::c240());
+        assert_eq!(t.len(), 8);
+        let text = t.render();
+        assert!(text.contains("vector load"));
+        assert!(text.contains("vector divide"));
+    }
+
+    // The suite-based tables are covered by the integration tests (they
+    // share one Suite::run() to keep test time down).
+}

@@ -1,0 +1,178 @@
+//! Register names: vector (`v0`–`v7`), scalar (`s0`–`s7`) and address
+//! (`a0`–`a7`) registers, and the vector register pairs whose read/write
+//! ports limit chime formation (§3.3 of the paper).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::IsaError;
+use crate::{NUM_AREGS, NUM_SREGS, NUM_VREGS};
+
+macro_rules! reg_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $count:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Creates the register with the given index, or `None` if the
+            /// index is out of range.
+            pub fn new(index: u8) -> Option<Self> {
+                (usize::from(index) < $count).then_some(Self(index))
+            }
+
+            /// The register index (0-based).
+            pub fn index(self) -> u8 {
+                self.0
+            }
+
+            /// All registers of this class, in index order.
+            pub fn all() -> impl Iterator<Item = Self> {
+                (0..$count as u8).map(Self)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = IsaError;
+
+            fn from_str(s: &str) -> Result<Self, IsaError> {
+                let rest = s
+                    .strip_prefix($prefix)
+                    .ok_or_else(|| IsaError::BadRegister(s.to_string()))?;
+                let idx: u8 = rest
+                    .parse()
+                    .map_err(|_| IsaError::BadRegister(s.to_string()))?;
+                Self::new(idx).ok_or_else(|| IsaError::BadRegister(s.to_string()))
+            }
+        }
+    };
+}
+
+reg_type!(
+    /// A vector register `v0` … `v7`, holding 128 64-bit elements.
+    ///
+    /// ```
+    /// use c240_isa::VReg;
+    /// let v5: VReg = "v5".parse()?;
+    /// assert_eq!(v5.index(), 5);
+    /// assert_eq!(v5.pair(), "v1".parse::<VReg>()?.pair());
+    /// # Ok::<(), c240_isa::IsaError>(())
+    /// ```
+    VReg,
+    "v",
+    NUM_VREGS
+);
+
+reg_type!(
+    /// A scalar register `s0` … `s7`, holding one 64-bit value
+    /// (integer or floating point, by instruction interpretation).
+    SReg,
+    "s",
+    NUM_SREGS
+);
+
+reg_type!(
+    /// An address register `a0` … `a7`, holding a byte address or integer.
+    AReg,
+    "a",
+    NUM_AREGS
+);
+
+/// A vector register *pair*.
+///
+/// The C-240 register file groups `{v0,v4} {v1,v5} {v2,v6} {v3,v7}`; during
+/// one chime at most **two reads and one write** may target each pair
+/// (§3.3). [`RegPair`] identifies the group a [`VReg`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegPair(u8);
+
+/// Number of vector register pairs.
+pub const NUM_PAIRS: usize = NUM_VREGS / 2;
+
+impl RegPair {
+    /// The pair index in `0..4`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// All register pairs.
+    pub fn all() -> impl Iterator<Item = RegPair> {
+        (0..NUM_PAIRS as u8).map(RegPair)
+    }
+
+    /// The two member registers of this pair.
+    pub fn members(self) -> [VReg; 2] {
+        [VReg(self.0), VReg(self.0 + NUM_PAIRS as u8)]
+    }
+}
+
+impl fmt::Display for RegPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b] = self.members();
+        write!(f, "{{{a},{b}}}")
+    }
+}
+
+impl VReg {
+    /// The register pair this vector register belongs to
+    /// (`v0`/`v4` → pair 0, `v1`/`v5` → pair 1, …).
+    pub fn pair(self) -> RegPair {
+        RegPair(self.0 % NUM_PAIRS as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vreg_parse_roundtrip() {
+        for r in VReg::all() {
+            let text = r.to_string();
+            assert_eq!(text.parse::<VReg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn sreg_and_areg_parse() {
+        assert_eq!("s0".parse::<SReg>().unwrap().index(), 0);
+        assert_eq!("a7".parse::<AReg>().unwrap().index(), 7);
+        assert!("s8".parse::<SReg>().is_err());
+        assert!("v-1".parse::<VReg>().is_err());
+        assert!("x0".parse::<AReg>().is_err());
+        assert!("a".parse::<AReg>().is_err());
+    }
+
+    #[test]
+    fn pairs_match_paper_grouping() {
+        // {v0,v4}, {v1,v5}, {v2,v6}, {v3,v7} per §3.3.
+        let v = |i| VReg::new(i).unwrap();
+        assert_eq!(v(0).pair(), v(4).pair());
+        assert_eq!(v(1).pair(), v(5).pair());
+        assert_eq!(v(2).pair(), v(6).pair());
+        assert_eq!(v(3).pair(), v(7).pair());
+        assert_ne!(v(0).pair(), v(1).pair());
+        assert_ne!(v(2).pair(), v(3).pair());
+    }
+
+    #[test]
+    fn pair_members() {
+        let p = VReg::new(2).unwrap().pair();
+        assert_eq!(p.members(), [VReg::new(2).unwrap(), VReg::new(6).unwrap()]);
+        assert_eq!(p.to_string(), "{v2,v6}");
+    }
+
+    #[test]
+    fn all_counts() {
+        assert_eq!(VReg::all().count(), 8);
+        assert_eq!(SReg::all().count(), 8);
+        assert_eq!(AReg::all().count(), 8);
+        assert_eq!(RegPair::all().count(), 4);
+    }
+}

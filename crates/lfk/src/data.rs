@@ -1,0 +1,150 @@
+//! Deterministic workload data and comparison helpers.
+
+use c240_sim::Cpu;
+
+use crate::CheckError;
+
+/// A tiny deterministic generator for workload values — every run of
+/// every kernel sees exactly the same data, so simulations are exactly
+/// reproducible without a `rand` dependency in this crate.
+#[derive(Debug, Clone)]
+pub struct Fill {
+    state: u64,
+    scale: f64,
+}
+
+impl Fill {
+    /// A generator seeded per kernel.
+    pub fn new(seed: u64) -> Self {
+        Fill {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            scale: 1.0,
+        }
+    }
+
+    /// Values are drawn from `[0.5, 1.5) · scale`.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Next value.
+    pub fn next_value(&mut self) -> f64 {
+        // xorshift64*
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        let u = self.state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let frac = (u >> 11) as f64 / (1u64 << 53) as f64;
+        (0.5 + frac) * self.scale
+    }
+
+    /// Fills a slice.
+    pub fn fill(&mut self, out: &mut [f64]) {
+        for v in out {
+            *v = self.next_value();
+        }
+    }
+
+    /// Produces a vector of `n` values.
+    pub fn vec(&mut self, n: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        self.fill(&mut v);
+        v
+    }
+}
+
+/// Writes a slice into simulator memory at a word address.
+pub fn poke_slice(cpu: &mut Cpu, base_word: u64, values: &[f64]) {
+    for (i, &v) in values.iter().enumerate() {
+        cpu.mem_mut().poke(base_word + i as u64, v);
+    }
+}
+
+/// Reads `len` words from simulator memory.
+pub fn peek_slice(cpu: &Cpu, base_word: u64, len: usize) -> Vec<f64> {
+    (base_word..base_word + len as u64)
+        .map(|w| cpu.mem().peek(w))
+        .collect()
+}
+
+/// Compares simulator output to a reference with a relative tolerance,
+/// reporting the first mismatch.
+///
+/// # Errors
+///
+/// Returns a [`CheckError`] naming `what[index]` on the first element
+/// whose relative error exceeds `rel_tol`.
+pub fn compare(
+    what: &str,
+    simulated: &[f64],
+    expected: &[f64],
+    rel_tol: f64,
+) -> Result<(), CheckError> {
+    assert_eq!(simulated.len(), expected.len(), "length mismatch for {what}");
+    for (i, (&s, &e)) in simulated.iter().zip(expected).enumerate() {
+        let denom = e.abs().max(1.0);
+        // Deliberately negated so a NaN difference also reports a
+        // mismatch (a plain `>` comparison would let NaN slip through).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !((s - e).abs() <= rel_tol * denom) {
+            return Err(CheckError {
+                location: format!("{what}[{i}]"),
+                simulated: s,
+                expected: e,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exact-association tolerance: kernels whose compiled arithmetic
+/// performs the same operations in the same order as the reference.
+pub const EXACT: f64 = 1e-13;
+
+/// Reduction tolerance: vectorized sums associate differently from the
+/// serial reference.
+pub const REDUCED: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_sim::SimConfig;
+
+    #[test]
+    fn fill_is_deterministic_and_bounded() {
+        let mut a = Fill::new(7);
+        let mut b = Fill::new(7);
+        let va = a.vec(100);
+        let vb = b.vec(100);
+        assert_eq!(va, vb);
+        assert!(va.iter().all(|&x| (0.5..1.5).contains(&x)));
+        let mut c = Fill::new(8).with_scale(0.01);
+        assert!(c.vec(10).iter().all(|&x| x < 0.015));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(Fill::new(1).vec(8), Fill::new(2).vec(8));
+    }
+
+    #[test]
+    fn poke_peek_roundtrip() {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        poke_slice(&mut cpu, 100, &[1.0, 2.0, 3.0]);
+        assert_eq!(peek_slice(&cpu, 100, 3), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn compare_reports_first_mismatch() {
+        let err = compare("x", &[1.0, 2.0, 9.0], &[1.0, 2.0, 3.0], 1e-12).unwrap_err();
+        assert_eq!(err.location, "x[2]");
+        assert_eq!(err.simulated, 9.0);
+        assert!(compare("x", &[1.0 + 1e-14], &[1.0], 1e-12).is_ok());
+    }
+
+    #[test]
+    fn compare_rejects_nan() {
+        assert!(compare("x", &[f64::NAN], &[1.0], 1e-6).is_err());
+    }
+}

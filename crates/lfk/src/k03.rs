@@ -1,0 +1,289 @@
+//! LFK 3 — inner product.
+//!
+//! Compiled the way vectorizing compilers handle clean dot products:
+//! elementwise partial sums accumulate into a vector register inside the
+//! strip loop (no reduction instruction in the steady state), with one
+//! `sum.d` in the epilogue. `t_MA = t_MAC = 2` CPL; the MACS bound adds
+//! only bubbles and refresh (1.044 CPF, Table 4).
+
+use c240_isa::asm::assemble;
+use c240_isa::Program;
+use c240_sim::Cpu;
+use macs_compiler::{analyze_ma, load, Kernel, MaWorkload};
+
+use crate::data::{compare, poke_slice, Fill, REDUCED};
+use crate::{CheckError, LfkKernel};
+
+const N: usize = 1001;
+const PASSES: i64 = 20;
+const Z_WORD: u64 = 2048;
+const X_WORD: u64 = 4096;
+const Q0: f64 = 0.5;
+
+/// LFK 3.
+pub struct Lfk3;
+
+impl Lfk3 {
+    fn inputs(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut f = Fill::new(3);
+        let z = f.vec(N);
+        let x = f.vec(N);
+        (z, x)
+    }
+
+    fn reference(&self) -> f64 {
+        let (z, x) = self.inputs();
+        let dot: f64 = z.iter().zip(&x).map(|(a, b)| a * b).sum();
+        Q0 + PASSES as f64 * dot
+    }
+}
+
+impl LfkKernel for Lfk3 {
+    fn id(&self) -> u32 {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "inner product"
+    }
+
+    fn fortran(&self) -> &'static str {
+        "DO 3 k = 1,n\n3    Q = Q + Z(k)*X(k)"
+    }
+
+    fn flops(&self) -> (u32, u32) {
+        (1, 1)
+    }
+
+    fn ma(&self) -> MaWorkload {
+        analyze_ma(&self.ir().expect("LFK3 has an IR form"))
+    }
+
+    fn iterations(&self) -> u64 {
+        PASSES as u64 * N as u64
+    }
+
+    fn program(&self) -> Program {
+        assemble(&format!(
+            "   mov #{PASSES},a0
+                sub.d v7,v7,v7          ; zero the partial-sum register
+            pass:
+                mov #{z_byte},a1
+                mov #{x_byte},a2
+                mov #{N},s0
+            L:
+                mov s0,vl
+                ld.l 0(a1),v0           ; Z(k)
+                ld.l 0(a2),v1           ; X(k)
+                mul.d v0,v1,v2
+                add.d v7,v2,v7          ; elementwise partial sums
+                add.w #1024,a1
+                add.w #1024,a2
+                sub.w #128,s0
+                lt.w #0,s0
+                jbrs.t L
+                sub.w #1,a0
+                lt.w #0,a0
+                jbrs.t pass
+                mov #128,vl
+                sum.d v7,s2
+                add.s s7,s2,s7          ; Q = Q0 + total
+                halt",
+            z_byte = Z_WORD * 8,
+            x_byte = X_WORD * 8,
+        ))
+        .expect("LFK3 assembly is valid")
+    }
+
+    fn setup(&self, cpu: &mut Cpu) {
+        let (z, x) = self.inputs();
+        poke_slice(cpu, Z_WORD, &z);
+        poke_slice(cpu, X_WORD, &x);
+        cpu.set_sreg_fp(7, Q0);
+    }
+
+    fn check(&self, cpu: &Cpu) -> Result<(), CheckError> {
+        compare("Q", &[cpu.sreg_fp(7)], &[self.reference()], REDUCED)
+    }
+
+    fn ir(&self) -> Option<Kernel> {
+        Some(
+            Kernel::new("lfk3")
+                .array("z", N as u64)
+                .array("x", N as u64)
+                .param("q", Q0)
+                .reduce("q", false, load("z", 0) * load("x", 0)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_sim::SimConfig;
+
+    #[test]
+    fn ma_counts_match_paper() {
+        let ma = Lfk3.ma();
+        assert_eq!((ma.f_a, ma.f_m, ma.loads, ma.stores), (1, 1, 2, 0));
+        assert_eq!(ma.t_ma_cpf(), 1.0);
+    }
+
+    #[test]
+    fn functional_check_passes() {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        Lfk3.setup(&mut cpu);
+        cpu.run(&Lfk3.program()).unwrap();
+        Lfk3.check(&cpu).unwrap();
+    }
+
+    #[test]
+    fn measured_cpf_is_near_paper() {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        Lfk3.setup(&mut cpu);
+        let stats = cpu.run(&Lfk3.program()).unwrap();
+        let cpf = stats.cycles / Lfk3.iterations() as f64 / 2.0;
+        // Paper: 1.128 CPF measured, 1.044 bound.
+        assert!(
+            (1.044..=1.16).contains(&cpf),
+            "LFK3 measured {cpf} CPF (paper 1.128)"
+        );
+    }
+
+    #[test]
+    fn macs_bound_is_pinned() {
+        // Paper Table 3/5: 2.09 (paper prints 2.08/2.09) CPL.
+        use macs_core_shim::*;
+        let b = bound_cpl(&Lfk3.program(), Lfk3.ma());
+        assert!(
+            (b - 2.0878).abs() < 0.003,
+            "t_MACS = {b} CPL, expected 2.0878"
+        );
+    }
+
+    /// lfk-suite cannot depend on macs-core (dependency direction), so
+    /// the bound used for pinning is recomputed with the same published
+    /// algorithm: chimes of `Z_max·VL + ΣB` with the cyclic ≥4-memory-run
+    /// refresh factor. The authoritative implementation lives in
+    /// macs-core and is cross-checked in the workspace integration tests.
+    mod macs_core_shim {
+        use c240_isa::{Instruction, Program, TimingClass};
+        use macs_compiler::MaWorkload;
+
+        pub fn bound_cpl(program: &Program, _ma: MaWorkload) -> f64 {
+            let l = program.innermost_loop().expect("strip loop");
+            let body = program.loop_body(l);
+            partition_cpl(body)
+        }
+
+        fn timing(class: TimingClass) -> (f64, f64) {
+            // (Z, B) from Table 1.
+            match class {
+                TimingClass::Load => (1.0, 2.0),
+                TimingClass::Store => (1.0, 4.0),
+                TimingClass::Mul => (1.0, 1.0),
+                TimingClass::Div => (4.0, 21.0),
+                TimingClass::Reduction => (1.35, 0.0),
+                _ => (1.0, 1.0),
+            }
+        }
+
+        #[allow(unused_assignments)] // the closing macro resets state once more at the end
+        fn partition_cpl(body: &[Instruction]) -> f64 {
+            const VL: f64 = 128.0;
+            let mut chimes: Vec<(f64, f64, bool)> = Vec::new(); // (z_max, b_sum, has_mem)
+            let mut pipes = [false; 3];
+            let mut reads = [0u8; 4];
+            let mut writes = [0u8; 4];
+            let mut open = false;
+            let mut z_max = 0.0f64;
+            let mut b_sum = 0.0;
+            let mut has_mem = false;
+            let mut fence = false;
+            macro_rules! close {
+                () => {
+                    if open {
+                        chimes.push((z_max, b_sum, has_mem));
+                        pipes = [false; 3];
+                        reads = [0; 4];
+                        writes = [0; 4];
+                        z_max = 0.0;
+                        b_sum = 0.0;
+                        has_mem = false;
+                        fence = false;
+                        open = false;
+                    }
+                };
+            }
+            for ins in body {
+                if ins.is_scalar_memory() {
+                    if has_mem {
+                        close!();
+                    } else {
+                        fence = true;
+                    }
+                    continue;
+                }
+                let Some(pipe) = ins.pipe() else { continue };
+                let slot = match pipe {
+                    c240_isa::Pipe::LoadStore => 0,
+                    c240_isa::Pipe::Add => 1,
+                    c240_isa::Pipe::Multiply => 2,
+                };
+                let (r, w) = ins.pair_usage();
+                let pair_ok = (0..4).all(|p| reads[p] + r[p] <= 2 && writes[p] + w[p] <= 1);
+                let fence_ok = !(ins.is_vector_memory() && fence);
+                if pipes[slot] || !pair_ok || !fence_ok {
+                    close!();
+                }
+                let (z, b) = timing(ins.timing_class().expect("vector"));
+                pipes[slot] = true;
+                for p in 0..4 {
+                    reads[p] += r[p];
+                    writes[p] += w[p];
+                }
+                z_max = z_max.max(z);
+                b_sum += b;
+                has_mem |= ins.is_vector_memory();
+                open = true;
+            }
+            close!();
+            // Cyclic refresh runs of >= 4 memory chimes (all-mem loops
+            // wrap indefinitely).
+            let n = chimes.len();
+            let mem: Vec<bool> = chimes.iter().map(|c| c.2).collect();
+            let mut scaled = vec![false; n];
+            if mem.iter().all(|&m| m) {
+                scaled = vec![true; n];
+            } else if let Some(start) = mem.iter().position(|&m| !m) {
+                let mut i = 0;
+                while i < n {
+                    let idx = (start + i) % n;
+                    if !mem[idx] {
+                        i += 1;
+                        continue;
+                    }
+                    let mut len = 0;
+                    while len < n && mem[(start + i + len) % n] {
+                        len += 1;
+                    }
+                    if len >= 4 {
+                        for k in 0..len {
+                            scaled[(start + i + k) % n] = true;
+                        }
+                    }
+                    i += len;
+                }
+            }
+            let total: f64 = chimes
+                .iter()
+                .zip(&scaled)
+                .map(|(&(z, b, _), &s)| {
+                    let cost = z * VL + b;
+                    if s { cost * 1.02 } else { cost }
+                })
+                .sum();
+            total / VL
+        }
+    }
+}

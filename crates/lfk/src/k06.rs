@@ -1,0 +1,308 @@
+//! LFK 6 — general linear recurrence equations.
+//!
+//! A triangular recurrence: row `i` reduces `i` products of `B(k,i)·W(k)`
+//! into `W(i)`. The inner loop has the same two-load / multiply /
+//! accumulate shape as LFK 4 (same bounds: `t_MA = t_MAC = 2` CPL,
+//! `t_MACS ≈ 2.44`), but the vector length ramps 1…63, so startup and
+//! per-row scalar work dominate the measurement — the paper explains
+//! only 46% of it (§4.4).
+
+use c240_isa::asm::assemble;
+use c240_isa::Program;
+use c240_sim::Cpu;
+use macs_compiler::MaWorkload;
+
+use crate::data::{compare, Fill, REDUCED};
+use crate::{CheckError, LfkKernel};
+
+const N: usize = 64;
+const PASSES: i64 = 30;
+const W_WORD: u64 = 2048;
+const B_WORD: u64 = 4096;
+
+/// LFK 6.
+pub struct Lfk6;
+
+impl Lfk6 {
+    fn inputs(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut f = Fill::new(6);
+        let w = f.vec(N);
+        let b = f.clone().with_scale(1.0 / (N * N) as f64).vec(N * N);
+        (w, b)
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        let (mut w, b) = self.inputs();
+        for _pass in 0..PASSES {
+            for i in 1..N {
+                // Mirror the compiled association: one reduction per
+                // strip (the whole row fits one strip at n = 64).
+                let sum: f64 = (0..i).map(|k| b[k + N * i] * w[k]).sum();
+                w[i] += sum;
+            }
+        }
+        w
+    }
+}
+
+impl LfkKernel for Lfk6 {
+    fn id(&self) -> u32 {
+        6
+    }
+
+    fn name(&self) -> &'static str {
+        "general linear recurrence"
+    }
+
+    fn fortran(&self) -> &'static str {
+        "DO 6 i = 2,n\n    DO 6 k = 1,i-1\n6       W(i) = W(i) + B(k,i)*W(k)"
+    }
+
+    fn flops(&self) -> (u32, u32) {
+        (1, 1)
+    }
+
+    fn ma(&self) -> MaWorkload {
+        // Two unit-stride loads (B column, W prefix), one multiply, one
+        // accumulate — identical shape to LFK 4.
+        MaWorkload {
+            f_a: 1,
+            f_m: 1,
+            loads: 2,
+            stores: 0,
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        PASSES as u64 * ((N * (N - 1)) / 2) as u64
+    }
+
+    fn program(&self) -> Program {
+        // a0 passes; a4 = current row i; a5 = &B(1,i); a6 = &W(i);
+        // a1/a2 working pointers; s4 = W(i) accumulator.
+        assemble(&format!(
+            "   mov #{PASSES},a0
+            pass:
+                mov #1,a4
+                mov #{b_col1_byte},a5
+                mov #{w1_byte},a6
+            row:
+                mov a5,a1
+                mov #{w_byte},a2
+                ld.d 0(a6),s4           ; temp = W(i)
+                mov a4,s0               ; i inner iterations
+            L:
+                mov s0,vl
+                ld.l 0(a1),v0           ; B(k,i)
+                ld.l 0(a2),v1           ; W(k)
+                mul.d v0,v1,v2
+                radd.d v2,s4            ; W(i) += Σ
+                add.w #1024,a1
+                add.w #1024,a2
+                sub.w #128,s0
+                lt.w #0,s0
+                jbrs.t L
+                st.d s4,0(a6)           ; W(i) = temp
+                add.w #{col_step},a5
+                add.w #8,a6
+                add.w #1,a4
+                lt.w a4,a7              ; loop while i < n  (a7 = n)
+                jbrs.t row
+                sub.w #1,a0
+                lt.w #0,a0
+                jbrs.t pass
+                halt",
+            b_col1_byte = (B_WORD + N as u64) * 8, // column i=1 (0-based)
+            w1_byte = (W_WORD + 1) * 8,
+            w_byte = W_WORD * 8,
+            col_step = N * 8,
+        ))
+        .expect("LFK6 assembly is valid")
+    }
+
+    fn setup(&self, cpu: &mut Cpu) {
+        let (w, b) = self.inputs();
+        crate::data::poke_slice(cpu, W_WORD, &w);
+        crate::data::poke_slice(cpu, B_WORD, &b);
+        cpu.set_areg(7, N as i64);
+    }
+
+    fn check(&self, cpu: &Cpu) -> Result<(), CheckError> {
+        let expected = self.reference();
+        let simulated = crate::data::peek_slice(cpu, W_WORD, N);
+        compare("W", &simulated, &expected, REDUCED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_sim::SimConfig;
+
+    #[test]
+    fn ma_counts_match_paper() {
+        let ma = Lfk6.ma();
+        assert_eq!(ma.t_ma_cpl(), 2.0);
+        assert_eq!(ma.t_ma_cpf(), 1.0);
+    }
+
+    #[test]
+    fn functional_check_passes() {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        Lfk6.setup(&mut cpu);
+        cpu.run(&Lfk6.program()).unwrap();
+        Lfk6.check(&cpu).unwrap();
+    }
+
+    #[test]
+    fn measured_cpf_shows_short_vector_gap() {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        Lfk6.setup(&mut cpu);
+        let stats = cpu.run(&Lfk6.program()).unwrap();
+        let cpf = stats.cycles / Lfk6.iterations() as f64 / 2.0;
+        // Paper: 2.632 CPF measured vs 1.226 bound (46% explained) —
+        // the triangular vector lengths kill the steady state.
+        assert!(
+            cpf > 1.8,
+            "LFK6 measured {cpf} CPF should far exceed the 1.226 bound"
+        );
+        assert!(cpf < 3.6, "LFK6 measured {cpf} CPF unreasonably large");
+    }
+
+    #[test]
+    fn macs_bound_is_pinned() {
+        // Paper Table 3/5: 2.44 CPL.
+        use macs_core_shim::*;
+        let b = bound_cpl(&Lfk6.program(), Lfk6.ma());
+        assert!(
+            (b - 2.4368).abs() < 0.02,
+            "t_MACS = {b} CPL, expected 2.4368"
+        );
+    }
+
+    /// lfk-suite cannot depend on macs-core (dependency direction), so
+    /// the bound used for pinning is recomputed with the same published
+    /// algorithm: chimes of `Z_max·VL + ΣB` with the cyclic ≥4-memory-run
+    /// refresh factor. The authoritative implementation lives in
+    /// macs-core and is cross-checked in the workspace integration tests.
+    mod macs_core_shim {
+        use c240_isa::{Instruction, Program, TimingClass};
+        use macs_compiler::MaWorkload;
+
+        pub fn bound_cpl(program: &Program, _ma: MaWorkload) -> f64 {
+            let l = program.innermost_loop().expect("strip loop");
+            let body = program.loop_body(l);
+            partition_cpl(body)
+        }
+
+        fn timing(class: TimingClass) -> (f64, f64) {
+            // (Z, B) from Table 1.
+            match class {
+                TimingClass::Load => (1.0, 2.0),
+                TimingClass::Store => (1.0, 4.0),
+                TimingClass::Mul => (1.0, 1.0),
+                TimingClass::Div => (4.0, 21.0),
+                TimingClass::Reduction => (1.35, 0.0),
+                _ => (1.0, 1.0),
+            }
+        }
+
+        #[allow(unused_assignments)] // the closing macro resets state once more at the end
+        fn partition_cpl(body: &[Instruction]) -> f64 {
+            const VL: f64 = 128.0;
+            let mut chimes: Vec<(f64, f64, bool)> = Vec::new(); // (z_max, b_sum, has_mem)
+            let mut pipes = [false; 3];
+            let mut reads = [0u8; 4];
+            let mut writes = [0u8; 4];
+            let mut open = false;
+            let mut z_max = 0.0f64;
+            let mut b_sum = 0.0;
+            let mut has_mem = false;
+            let mut fence = false;
+            macro_rules! close {
+                () => {
+                    if open {
+                        chimes.push((z_max, b_sum, has_mem));
+                        pipes = [false; 3];
+                        reads = [0; 4];
+                        writes = [0; 4];
+                        z_max = 0.0;
+                        b_sum = 0.0;
+                        has_mem = false;
+                        fence = false;
+                        open = false;
+                    }
+                };
+            }
+            for ins in body {
+                if ins.is_scalar_memory() {
+                    if has_mem {
+                        close!();
+                    } else {
+                        fence = true;
+                    }
+                    continue;
+                }
+                let Some(pipe) = ins.pipe() else { continue };
+                let slot = match pipe {
+                    c240_isa::Pipe::LoadStore => 0,
+                    c240_isa::Pipe::Add => 1,
+                    c240_isa::Pipe::Multiply => 2,
+                };
+                let (r, w) = ins.pair_usage();
+                let pair_ok = (0..4).all(|p| reads[p] + r[p] <= 2 && writes[p] + w[p] <= 1);
+                let fence_ok = !(ins.is_vector_memory() && fence);
+                if pipes[slot] || !pair_ok || !fence_ok {
+                    close!();
+                }
+                let (z, b) = timing(ins.timing_class().expect("vector"));
+                pipes[slot] = true;
+                for p in 0..4 {
+                    reads[p] += r[p];
+                    writes[p] += w[p];
+                }
+                z_max = z_max.max(z);
+                b_sum += b;
+                has_mem |= ins.is_vector_memory();
+                open = true;
+            }
+            close!();
+            // Cyclic refresh runs of >= 4 memory chimes (all-mem loops
+            // wrap indefinitely).
+            let n = chimes.len();
+            let mem: Vec<bool> = chimes.iter().map(|c| c.2).collect();
+            let mut scaled = vec![false; n];
+            if mem.iter().all(|&m| m) {
+                scaled = vec![true; n];
+            } else if let Some(start) = mem.iter().position(|&m| !m) {
+                let mut i = 0;
+                while i < n {
+                    let idx = (start + i) % n;
+                    if !mem[idx] {
+                        i += 1;
+                        continue;
+                    }
+                    let mut len = 0;
+                    while len < n && mem[(start + i + len) % n] {
+                        len += 1;
+                    }
+                    if len >= 4 {
+                        for k in 0..len {
+                            scaled[(start + i + k) % n] = true;
+                        }
+                    }
+                    i += len;
+                }
+            }
+            let total: f64 = chimes
+                .iter()
+                .zip(&scaled)
+                .map(|(&(z, b, _), &s)| {
+                    let cost = z * VL + b;
+                    if s { cost * 1.02 } else { cost }
+                })
+                .sum();
+            total / VL
+        }
+    }
+}

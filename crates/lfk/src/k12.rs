@@ -1,0 +1,275 @@
+//! LFK 12 — first difference.
+//!
+//! Like LFK1, the compiler reloads the shifted reuse stream: `Y(k+1)`
+//! and `Y(k)` are one MA stream but two compiled loads, raising `t_m`
+//! from 2 to 3 (Table 3) and CPF from 2.0 to 3.0.
+
+use c240_isa::asm::assemble;
+use c240_isa::Program;
+use c240_sim::Cpu;
+use macs_compiler::{analyze_ma, load, Kernel, MaWorkload};
+
+use crate::data::{compare, peek_slice, poke_slice, Fill, EXACT};
+use crate::{CheckError, LfkKernel};
+
+const N: usize = 1000;
+const PASSES: i64 = 20;
+const X_WORD: u64 = 4096;
+const Y_WORD: u64 = 2048;
+
+/// LFK 12.
+pub struct Lfk12;
+
+impl Lfk12 {
+    fn inputs(&self) -> Vec<f64> {
+        Fill::new(12).vec(N + 1)
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        let y = self.inputs();
+        (0..N).map(|k| y[k + 1] - y[k]).collect()
+    }
+}
+
+impl LfkKernel for Lfk12 {
+    fn id(&self) -> u32 {
+        12
+    }
+
+    fn name(&self) -> &'static str {
+        "first difference"
+    }
+
+    fn fortran(&self) -> &'static str {
+        "DO 12 k = 1,n\n12   X(k) = Y(k+1) - Y(k)"
+    }
+
+    fn flops(&self) -> (u32, u32) {
+        (1, 0)
+    }
+
+    fn ma(&self) -> MaWorkload {
+        analyze_ma(&self.ir().expect("LFK12 has an IR form"))
+    }
+
+    fn iterations(&self) -> u64 {
+        PASSES as u64 * N as u64
+    }
+
+    fn program(&self) -> Program {
+        assemble(&format!(
+            "   mov #{PASSES},a0
+            pass:
+                mov #{x_byte},a1
+                mov #{y_byte},a2
+                mov #{N},s0
+            L:
+                mov s0,vl
+                ld.l 8(a2),v0           ; Y(k+1)
+                ld.l 0(a2),v1           ; Y(k)
+                sub.d v0,v1,v2
+                st.l v2,0(a1)           ; X(k)
+                add.w #1024,a1
+                add.w #1024,a2
+                sub.w #128,s0
+                lt.w #0,s0
+                jbrs.t L
+                sub.w #1,a0
+                lt.w #0,a0
+                jbrs.t pass
+                halt",
+            x_byte = X_WORD * 8,
+            y_byte = Y_WORD * 8,
+        ))
+        .expect("LFK12 assembly is valid")
+    }
+
+    fn setup(&self, cpu: &mut Cpu) {
+        poke_slice(cpu, Y_WORD, &self.inputs());
+    }
+
+    fn check(&self, cpu: &Cpu) -> Result<(), CheckError> {
+        let x = peek_slice(cpu, X_WORD, N);
+        compare("X", &x, &self.reference(), EXACT)
+    }
+
+    fn ir(&self) -> Option<Kernel> {
+        Some(
+            Kernel::new("lfk12")
+                .array("x", N as u64)
+                .array("y", (N + 1) as u64)
+                .store("x", 0, load("y", 1) - load("y", 0)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_sim::SimConfig;
+
+    #[test]
+    fn ma_counts_match_paper() {
+        let ma = Lfk12.ma();
+        assert_eq!((ma.f_a, ma.f_m, ma.loads, ma.stores), (1, 0, 1, 1));
+        assert_eq!(ma.t_ma_cpf(), 2.0);
+    }
+
+    #[test]
+    fn functional_check_passes() {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        Lfk12.setup(&mut cpu);
+        cpu.run(&Lfk12.program()).unwrap();
+        Lfk12.check(&cpu).unwrap();
+    }
+
+    #[test]
+    fn measured_cpf_is_near_paper() {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        Lfk12.setup(&mut cpu);
+        let stats = cpu.run(&Lfk12.program()).unwrap();
+        let cpf = stats.cycles / Lfk12.iterations() as f64;
+        // Paper: 3.182 CPF measured, 3.132 bound.
+        assert!(
+            (3.13..=3.30).contains(&cpf),
+            "LFK12 measured {cpf} CPF (paper 3.182)"
+        );
+    }
+
+    #[test]
+    fn macs_bound_is_pinned() {
+        // Paper Table 3/5: 3.13 CPL.
+        use macs_core_shim::*;
+        let b = bound_cpl(&Lfk12.program(), Lfk12.ma());
+        assert!(
+            (b - 3.1317).abs() < 0.003,
+            "t_MACS = {b} CPL, expected 3.1317"
+        );
+    }
+
+    /// lfk-suite cannot depend on macs-core (dependency direction), so
+    /// the bound used for pinning is recomputed with the same published
+    /// algorithm: chimes of `Z_max·VL + ΣB` with the cyclic ≥4-memory-run
+    /// refresh factor. The authoritative implementation lives in
+    /// macs-core and is cross-checked in the workspace integration tests.
+    mod macs_core_shim {
+        use c240_isa::{Instruction, Program, TimingClass};
+        use macs_compiler::MaWorkload;
+
+        pub fn bound_cpl(program: &Program, _ma: MaWorkload) -> f64 {
+            let l = program.innermost_loop().expect("strip loop");
+            let body = program.loop_body(l);
+            partition_cpl(body)
+        }
+
+        fn timing(class: TimingClass) -> (f64, f64) {
+            // (Z, B) from Table 1.
+            match class {
+                TimingClass::Load => (1.0, 2.0),
+                TimingClass::Store => (1.0, 4.0),
+                TimingClass::Mul => (1.0, 1.0),
+                TimingClass::Div => (4.0, 21.0),
+                TimingClass::Reduction => (1.35, 0.0),
+                _ => (1.0, 1.0),
+            }
+        }
+
+        #[allow(unused_assignments)] // the closing macro resets state once more at the end
+        fn partition_cpl(body: &[Instruction]) -> f64 {
+            const VL: f64 = 128.0;
+            let mut chimes: Vec<(f64, f64, bool)> = Vec::new(); // (z_max, b_sum, has_mem)
+            let mut pipes = [false; 3];
+            let mut reads = [0u8; 4];
+            let mut writes = [0u8; 4];
+            let mut open = false;
+            let mut z_max = 0.0f64;
+            let mut b_sum = 0.0;
+            let mut has_mem = false;
+            let mut fence = false;
+            macro_rules! close {
+                () => {
+                    if open {
+                        chimes.push((z_max, b_sum, has_mem));
+                        pipes = [false; 3];
+                        reads = [0; 4];
+                        writes = [0; 4];
+                        z_max = 0.0;
+                        b_sum = 0.0;
+                        has_mem = false;
+                        fence = false;
+                        open = false;
+                    }
+                };
+            }
+            for ins in body {
+                if ins.is_scalar_memory() {
+                    if has_mem {
+                        close!();
+                    } else {
+                        fence = true;
+                    }
+                    continue;
+                }
+                let Some(pipe) = ins.pipe() else { continue };
+                let slot = match pipe {
+                    c240_isa::Pipe::LoadStore => 0,
+                    c240_isa::Pipe::Add => 1,
+                    c240_isa::Pipe::Multiply => 2,
+                };
+                let (r, w) = ins.pair_usage();
+                let pair_ok = (0..4).all(|p| reads[p] + r[p] <= 2 && writes[p] + w[p] <= 1);
+                let fence_ok = !(ins.is_vector_memory() && fence);
+                if pipes[slot] || !pair_ok || !fence_ok {
+                    close!();
+                }
+                let (z, b) = timing(ins.timing_class().expect("vector"));
+                pipes[slot] = true;
+                for p in 0..4 {
+                    reads[p] += r[p];
+                    writes[p] += w[p];
+                }
+                z_max = z_max.max(z);
+                b_sum += b;
+                has_mem |= ins.is_vector_memory();
+                open = true;
+            }
+            close!();
+            // Cyclic refresh runs of >= 4 memory chimes (all-mem loops
+            // wrap indefinitely).
+            let n = chimes.len();
+            let mem: Vec<bool> = chimes.iter().map(|c| c.2).collect();
+            let mut scaled = vec![false; n];
+            if mem.iter().all(|&m| m) {
+                scaled = vec![true; n];
+            } else if let Some(start) = mem.iter().position(|&m| !m) {
+                let mut i = 0;
+                while i < n {
+                    let idx = (start + i) % n;
+                    if !mem[idx] {
+                        i += 1;
+                        continue;
+                    }
+                    let mut len = 0;
+                    while len < n && mem[(start + i + len) % n] {
+                        len += 1;
+                    }
+                    if len >= 4 {
+                        for k in 0..len {
+                            scaled[(start + i + k) % n] = true;
+                        }
+                    }
+                    i += len;
+                }
+            }
+            let total: f64 = chimes
+                .iter()
+                .zip(&scaled)
+                .map(|(&(z, b, _), &s)| {
+                    let cost = z * VL + b;
+                    if s { cost * 1.02 } else { cost }
+                })
+                .sum();
+            total / VL
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The ASU scalar data cache.
+//!
+//! On the C-240, scalar loads and stores go through the Address/Scalar
+//! Unit's data cache, while the vector processor bypasses it and accesses
+//! memory directly (§2). We model a small direct-mapped write-through
+//! cache: hits cost a fixed latency; misses additionally perform a memory
+//! access (and thus interact with banks, refresh and contention).
+
+use crate::system::MemorySystem;
+
+/// Scalar cache geometry and latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of direct-mapped lines.
+    pub lines: usize,
+    /// Words per line.
+    pub line_words: u32,
+    /// Latency of a hit, in cycles.
+    pub hit_latency: u64,
+    /// Latency added by a miss on top of the memory grant, in cycles.
+    pub miss_penalty: u64,
+}
+
+impl CacheConfig {
+    /// A 8 KiB direct-mapped cache: 256 lines × 4 words, 2-cycle hits.
+    pub fn c240() -> Self {
+        CacheConfig {
+            lines: 256,
+            line_words: 4,
+            hit_latency: 2,
+            miss_penalty: 4,
+        }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::c240()
+    }
+}
+
+/// A direct-mapped, write-through scalar data cache.
+///
+/// The cache only models *timing*; data always comes from (and goes to)
+/// the backing [`MemorySystem`], which keeps scalar and vector accesses
+/// coherent — matching the write-through design implied by the machine's
+/// single memory image.
+#[derive(Debug, Clone)]
+pub struct ScalarCache {
+    config: CacheConfig,
+    tags: Vec<Option<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScalarCache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.lines > 0 && config.line_words > 0, "cache must be non-empty");
+        ScalarCache {
+            config,
+            tags: vec![None; config.lines],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates all lines and clears statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(None);
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn line_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr / u64::from(self.config.line_words);
+        let line = (line_addr % self.tags.len() as u64) as usize;
+        (line, line_addr)
+    }
+
+    /// Performs a scalar load through the cache; returns
+    /// `(complete_cycle, value)`.
+    pub fn read(&mut self, mem: &mut MemorySystem, addr: u64, at: f64) -> (f64, f64) {
+        let (line, tag) = self.line_and_tag(addr);
+        if self.tags[line] == Some(tag) {
+            self.hits += 1;
+            (at + self.config.hit_latency as f64, mem.peek(addr))
+        } else {
+            self.misses += 1;
+            let (granted, value) = mem.read(addr, at);
+            self.tags[line] = Some(tag);
+            (
+                granted + (self.config.hit_latency + self.config.miss_penalty) as f64,
+                value,
+            )
+        }
+    }
+
+    /// Performs a scalar store (write-through: always reaches memory);
+    /// returns the complete cycle.
+    pub fn write(&mut self, mem: &mut MemorySystem, addr: u64, value: f64, at: f64) -> f64 {
+        let (line, tag) = self.line_and_tag(addr);
+        if self.tags[line] == Some(tag) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.tags[line] = Some(tag);
+        }
+        let granted = mem.write(addr, value, at);
+        granted + self.config.hit_latency as f64
+    }
+
+    /// Invalidates the line containing `addr` (used when a vector store
+    /// bypasses the cache and writes the same location).
+    pub fn invalidate(&mut self, addr: u64) {
+        let (line, tag) = self.line_and_tag(addr);
+        if self.tags[line] == Some(tag) {
+            self.tags[line] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::MemConfig;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(MemConfig::c240().without_refresh())
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut m = mem();
+        m.poke(10, 42.0);
+        let mut c = ScalarCache::new(CacheConfig::c240());
+        let (t1, v1) = c.read(&mut m, 10, 0.0);
+        assert_eq!(v1, 42.0);
+        assert_eq!(c.misses(), 1);
+        // Same line: hit, cheaper.
+        let (t2, v2) = c.read(&mut m, 11, t1);
+        assert_eq!(v2, 0.0);
+        assert_eq!(c.hits(), 1);
+        assert!(t2 - t1 < t1 - 0.0);
+    }
+
+    #[test]
+    fn write_through_reaches_memory() {
+        let mut m = mem();
+        let mut c = ScalarCache::new(CacheConfig::c240());
+        c.write(&mut m, 20, 7.5, 0.0);
+        assert_eq!(m.peek(20), 7.5);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut m = mem();
+        let mut c = ScalarCache::new(CacheConfig {
+            lines: 2,
+            line_words: 1,
+            hit_latency: 1,
+            miss_penalty: 2,
+        });
+        let (_, _) = c.read(&mut m, 0, 0.0);
+        let (_, _) = c.read(&mut m, 2, 0.0); // maps to line 0 too
+        let (_, _) = c.read(&mut m, 0, 0.0); // miss again
+        assert_eq!(c.misses(), 3);
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn invalidate_forces_refetch() {
+        let mut m = mem();
+        let mut c = ScalarCache::new(CacheConfig::c240());
+        let _ = c.read(&mut m, 30, 0.0);
+        c.invalidate(30);
+        let _ = c.read(&mut m, 30, 100.0);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = mem();
+        let mut c = ScalarCache::new(CacheConfig::c240());
+        let _ = c.read(&mut m, 1, 0.0);
+        c.reset();
+        assert_eq!(c.hits() + c.misses(), 0);
+        let _ = c.read(&mut m, 1, 0.0);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_line_cache_rejected() {
+        let _ = ScalarCache::new(CacheConfig {
+            lines: 0,
+            line_words: 1,
+            hit_latency: 1,
+            miss_penalty: 1,
+        });
+    }
+}

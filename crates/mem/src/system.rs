@@ -1,0 +1,426 @@
+//! The banked memory system: data storage plus access timing.
+
+use crate::contention::ContentionConfig;
+use crate::{bank_of, gcd};
+
+/// Configuration of the memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Number of interleaved banks (32 in the standard C-240).
+    pub banks: u32,
+    /// Bank cycle (recovery) time in cycles (8 on the C-240).
+    pub bank_busy: u64,
+    /// Cycles between refresh windows (400 on the C-240 = 16 µs).
+    pub refresh_period: u64,
+    /// Length of each refresh window in cycles (8 on the C-240).
+    pub refresh_len: u64,
+    /// Whether refresh is modeled (disable for ablations).
+    pub refresh_enabled: bool,
+    /// Memory size in 8-byte words.
+    pub words: usize,
+    /// Background traffic from the other CPUs.
+    pub contention: ContentionConfig,
+}
+
+impl MemConfig {
+    /// The standard C-240 configuration (§2 of the paper) with 8 MiB of
+    /// data space and an otherwise idle machine.
+    pub fn c240() -> Self {
+        MemConfig {
+            banks: 32,
+            bank_busy: 8,
+            refresh_period: 400,
+            refresh_len: 8,
+            refresh_enabled: true,
+            words: 1 << 20,
+            contention: ContentionConfig::idle(),
+        }
+    }
+
+    /// Same configuration with refresh disabled (ablation).
+    pub fn without_refresh(mut self) -> Self {
+        self.refresh_enabled = false;
+        self
+    }
+
+    /// Same configuration with the given background contention.
+    pub fn with_contention(mut self, contention: ContentionConfig) -> Self {
+        self.contention = contention;
+        self
+    }
+
+    /// Same configuration with a different bank count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        assert!(banks > 0, "memory must have at least one bank");
+        self.banks = banks;
+        self
+    }
+
+    /// Same configuration with a different data size in words.
+    pub fn with_words(mut self, words: usize) -> Self {
+        self.words = words;
+        self
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::c240()
+    }
+}
+
+/// The memory system: word-addressed data plus per-bank availability.
+///
+/// Timing methods take the earliest cycle an access may start and return
+/// the cycle at which the bank granted it. Between request and grant the
+/// access may wait for: the bank's recovery from a previous access, a
+/// refresh window, or a background contention claim.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemConfig,
+    data: Vec<f64>,
+    bank_free: Vec<f64>,
+    accesses: u64,
+    waited: f64,
+}
+
+impl MemorySystem {
+    /// Creates a zero-filled memory with the given configuration.
+    pub fn new(config: MemConfig) -> Self {
+        let banks = config.banks as usize;
+        let words = config.words;
+        MemorySystem {
+            config,
+            data: vec![0.0; words],
+            bank_free: vec![0.0; banks],
+            accesses: 0,
+            waited: 0.0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Memory size in words.
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total accesses served so far.
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total cycles accesses spent waiting beyond their earliest start.
+    pub fn wait_cycles(&self) -> f64 {
+        self.waited
+    }
+
+    /// Reads `addr` (word address) no earlier than cycle `earliest`;
+    /// returns the granted cycle and the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the configured memory size, which
+    /// indicates a bug in the simulated program.
+    pub fn read(&mut self, addr: u64, earliest: f64) -> (f64, f64) {
+        let value = self.peek(addr);
+        let t = self.grant(addr, earliest);
+        (t, value)
+    }
+
+    /// Writes `value` to `addr` no earlier than cycle `earliest`; returns
+    /// the granted cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the configured memory size.
+    pub fn write(&mut self, addr: u64, value: f64, earliest: f64) -> f64 {
+        self.check(addr);
+        let t = self.grant(addr, earliest);
+        self.data[addr as usize] = value;
+        t
+    }
+
+    /// Reads data without touching timing state (test/setup use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the configured memory size.
+    pub fn peek(&self, addr: u64) -> f64 {
+        self.check(addr);
+        self.data[addr as usize]
+    }
+
+    /// Writes data without touching timing state (test/setup use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the configured memory size.
+    pub fn poke(&mut self, addr: u64, value: f64) {
+        self.check(addr);
+        self.data[addr as usize] = value;
+    }
+
+    /// Clears all timing state (bank availability, statistics) while
+    /// keeping data — used between measurement runs.
+    pub fn reset_timing(&mut self) {
+        self.bank_free.fill(0.0);
+        self.accesses = 0;
+        self.waited = 0.0;
+    }
+
+    fn check(&self, addr: u64) {
+        assert!(
+            (addr as usize) < self.data.len(),
+            "memory access out of bounds: word address {addr} >= {} words",
+            self.data.len()
+        );
+    }
+
+    /// Finds and claims the earliest grant cycle for an access to `addr`
+    /// starting no earlier than `earliest`.
+    fn grant(&mut self, addr: u64, earliest: f64) -> f64 {
+        self.check(addr);
+        let bank = bank_of(addr, self.config.banks) as usize;
+        let mut t = earliest.max(0.0);
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(
+                guard < 100_000,
+                "memory grant search did not converge (bank {bank}, t={t}); \
+                 contention configuration saturates the bank"
+            );
+            if t < self.bank_free[bank] {
+                t = self.bank_free[bank];
+                continue;
+            }
+            if self.config.refresh_enabled {
+                let period = self.config.refresh_period as f64;
+                let len = self.config.refresh_len as f64;
+                let into = t.rem_euclid(period);
+                if into < len {
+                    // The paper (§3.2): a refresh "will force the VP to
+                    // stall for eight cycles" — the blocked access pays
+                    // the full window (re-arbitration included), not just
+                    // the remainder of it.
+                    t += len;
+                    continue;
+                }
+            }
+            if let Some(end) = self.config.contention.blocking_claim_end(
+                bank as u32,
+                self.config.banks,
+                t,
+                self.config.bank_busy as f64,
+            ) {
+                t = end;
+                continue;
+            }
+            break;
+        }
+        self.bank_free[bank] = t + self.config.bank_busy as f64;
+        self.accesses += 1;
+        self.waited += t - earliest.max(0.0);
+        t
+    }
+
+    /// The number of distinct banks a stride touches before repeating —
+    /// `banks / gcd(stride, banks)`.
+    pub fn banks_touched(&self, stride_words: i64) -> u32 {
+        let banks = u64::from(self.config.banks);
+        let s = stride_words.unsigned_abs() % banks;
+        let g = gcd(if s == 0 { banks } else { s }, banks);
+        (banks / g) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::ContentionStream;
+
+    fn quiet() -> MemorySystem {
+        MemorySystem::new(MemConfig::c240().without_refresh())
+    }
+
+    #[test]
+    fn unit_stride_streams_at_one_per_cycle() {
+        let mut mem = quiet();
+        let mut t = 0.0;
+        for i in 0..256u64 {
+            let (g, _) = mem.read(i, t);
+            assert_eq!(g, t, "element {i} should not wait");
+            t += 1.0;
+        }
+        assert_eq!(mem.wait_cycles(), 0.0);
+    }
+
+    #[test]
+    fn same_bank_accesses_wait_bank_busy() {
+        let mut mem = quiet();
+        let (t0, _) = mem.read(0, 0.0);
+        let (t1, _) = mem.read(32, t0 + 1.0); // same bank 0
+        assert_eq!(t0, 0.0);
+        assert_eq!(t1, 8.0);
+    }
+
+    #[test]
+    fn stride_32_is_bank_limited() {
+        let mut mem = quiet();
+        let mut t = 0.0;
+        let mut grants = Vec::new();
+        for i in 0..16u64 {
+            let (g, _) = mem.read(i * 32, t);
+            grants.push(g);
+            t = g + 1.0; // port wants one per cycle
+        }
+        // Steady state: one element per 8 cycles.
+        let deltas: Vec<f64> = grants.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(deltas.iter().all(|&d| d == 8.0), "{deltas:?}");
+    }
+
+    #[test]
+    fn refresh_blocks_grants() {
+        let mut mem = MemorySystem::new(MemConfig::c240());
+        // Request at cycle 2 lands inside the refresh window [0, 8) and
+        // pays the full 8-cycle stall (§3.2 of the paper).
+        let (g, _) = mem.read(0, 2.0);
+        assert_eq!(g, 10.0);
+        // Request at 401 lands inside [400, 408).
+        let (g2, _) = mem.read(1, 401.0);
+        assert_eq!(g2, 409.0);
+        // Requests between windows go through immediately.
+        let (g3, _) = mem.read(2, 100.0);
+        assert_eq!(g3, 100.0);
+    }
+
+    #[test]
+    fn refresh_costs_about_two_percent() {
+        let mut mem = MemorySystem::new(MemConfig::c240());
+        let mut t = 0.0;
+        let n = 40_000u64;
+        for i in 0..n {
+            let (g, _) = mem.read(i % 1000, t);
+            t = g + 1.0;
+        }
+        let ideal = n as f64;
+        let slowdown = t / ideal;
+        assert!(
+            (1.015..1.025).contains(&slowdown),
+            "refresh slowdown {slowdown} should be ~1.02"
+        );
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_data() {
+        let mut mem = quiet();
+        let t = mem.write(77, 3.25, 0.0);
+        let (_, v) = mem.read(77, t + 8.0);
+        assert_eq!(v, 3.25);
+    }
+
+    #[test]
+    fn poke_peek() {
+        let mut mem = quiet();
+        mem.poke(5, -1.5);
+        assert_eq!(mem.peek(5), -1.5);
+        assert_eq!(mem.access_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mem = MemorySystem::new(MemConfig::c240().with_words(16));
+        let _ = mem.peek(16);
+    }
+
+    #[test]
+    fn reset_timing_keeps_data() {
+        let mut mem = quiet();
+        mem.write(3, 9.0, 0.0);
+        mem.reset_timing();
+        assert_eq!(mem.peek(3), 9.0);
+        assert_eq!(mem.access_count(), 0);
+        let (g, _) = mem.read(3, 0.0);
+        assert_eq!(g, 0.0);
+    }
+
+    #[test]
+    fn contention_delays_grants() {
+        let cfg = MemConfig::c240().without_refresh().with_contention(
+            ContentionConfig::idle().with_stream(ContentionStream::unit(0)),
+        );
+        let mut mem = MemorySystem::new(cfg);
+        // The stream claims bank 0 during [0, 8).
+        let (g, _) = mem.read(0, 0.0);
+        assert_eq!(g, 8.0);
+    }
+
+    #[test]
+    fn mixed_contention_slows_unit_stream() {
+        let busy = MemConfig::c240()
+            .without_refresh()
+            .with_contention(ContentionConfig::mixed(3));
+        let mut mem = MemorySystem::new(busy);
+        let mut t = 0.0;
+        let n = 10_000u64;
+        for i in 0..n {
+            let (g, _) = mem.read(i, t);
+            t = g + 1.0;
+        }
+        let slowdown = t / n as f64;
+        // §4.2: typical contention stretches a 40 ns access to 56–64 ns.
+        assert!(
+            (1.35..=1.65).contains(&slowdown),
+            "mixed contention slowdown {slowdown} should be ~1.4-1.6"
+        );
+    }
+
+    #[test]
+    fn lockstep_contention_is_mild() {
+        let busy = MemConfig::c240()
+            .without_refresh()
+            .with_contention(ContentionConfig::lockstep(3));
+        let mut mem = MemorySystem::new(busy);
+        let mut t = 0.0;
+        let n = 40_000u64;
+        for i in 0..n {
+            let (g, _) = mem.read(i, t);
+            t = g + 1.0;
+        }
+        let slowdown = t / n as f64;
+        // §4.2: same-executable neighbors cost only 5-10%.
+        assert!(
+            (1.04..=1.12).contains(&slowdown),
+            "lockstep contention slowdown {slowdown} should be ~1.05-1.10"
+        );
+    }
+
+    #[test]
+    fn banks_touched() {
+        let mem = quiet();
+        assert_eq!(mem.banks_touched(1), 32);
+        assert_eq!(mem.banks_touched(2), 16);
+        assert_eq!(mem.banks_touched(32), 1);
+        assert_eq!(mem.banks_touched(25), 32);
+        assert_eq!(mem.banks_touched(0), 1);
+        assert_eq!(mem.banks_touched(-2), 16);
+    }
+
+    #[test]
+    fn wait_statistics_accumulate() {
+        let mut mem = quiet();
+        let _ = mem.read(0, 0.0);
+        let _ = mem.read(32, 0.0); // waits 8 cycles
+        assert_eq!(mem.wait_cycles(), 8.0);
+        assert_eq!(mem.access_count(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulator configuration: machine timing plus model ablation switches.
+
+use c240_isa::timing::TimingTable;
+use c240_mem::{CacheConfig, MemConfig};
+
+/// Scalar-side latencies (ASU).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarTiming {
+    /// Issue slot cost of any instruction, in cycles.
+    pub issue: f64,
+    /// Extra cycles on a taken branch (redirect penalty).
+    pub branch_taken_penalty: f64,
+    /// Latency of integer ops and moves.
+    pub int_latency: f64,
+    /// Latency of scalar floating point add/subtract.
+    pub fp_add_latency: f64,
+    /// Latency of scalar floating point multiply.
+    pub fp_mul_latency: f64,
+    /// Latency of scalar floating point divide.
+    pub fp_div_latency: f64,
+}
+
+impl ScalarTiming {
+    /// Plausible C-240 ASU latencies.
+    pub fn c240() -> Self {
+        ScalarTiming {
+            issue: 1.0,
+            branch_taken_penalty: 2.0,
+            int_latency: 1.0,
+            fp_add_latency: 2.0,
+            fp_mul_latency: 3.0,
+            fp_div_latency: 12.0,
+        }
+    }
+}
+
+impl Default for ScalarTiming {
+    fn default() -> Self {
+        ScalarTiming::c240()
+    }
+}
+
+/// Full simulator configuration.
+///
+/// The default models the paper's Convex C-240; the switches ablate
+/// individual machine features for the what-if studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Vector instruction timing (Table 1).
+    pub timing: TimingTable,
+    /// Memory system (banks, refresh, contention).
+    pub mem: MemConfig,
+    /// ASU scalar data cache.
+    pub cache: CacheConfig,
+    /// Scalar-side latencies.
+    pub scalar: ScalarTiming,
+    /// Operand chaining between vector pipes (§3.3). Disabling it makes
+    /// each vector instruction wait for its operands to be *completely*
+    /// computed, as on the Cray-2.
+    pub chaining: bool,
+    /// Enforce the ≤2-read/≤1-write per register pair constraint (§3.3).
+    pub pair_constraint: bool,
+    /// Record a pipeline trace of every vector instruction.
+    pub trace: bool,
+    /// Abort after this many executed instructions (runaway-loop guard).
+    pub max_instructions: u64,
+}
+
+impl SimConfig {
+    /// The paper's Convex C-240.
+    pub fn c240() -> Self {
+        SimConfig {
+            timing: TimingTable::c240(),
+            mem: MemConfig::c240(),
+            cache: CacheConfig::c240(),
+            scalar: ScalarTiming::c240(),
+            chaining: true,
+            pair_constraint: true,
+            trace: false,
+            max_instructions: 200_000_000,
+        }
+    }
+
+    /// Same machine with chaining disabled (Cray-2 style ablation).
+    pub fn without_chaining(mut self) -> Self {
+        self.chaining = false;
+        self
+    }
+
+    /// Same machine with all tailgating bubbles `B` zeroed (Eq. 5 vs
+    /// Eq. 13 ablation).
+    pub fn without_bubbles(mut self) -> Self {
+        self.timing = self.timing.without_bubbles();
+        self
+    }
+
+    /// Same machine with memory refresh disabled.
+    pub fn without_refresh(mut self) -> Self {
+        self.mem = self.mem.without_refresh();
+        self
+    }
+
+    /// Same machine without the register-pair port constraint.
+    pub fn without_pair_constraint(mut self) -> Self {
+        self.pair_constraint = false;
+        self
+    }
+
+    /// Same machine with tracing enabled.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::c240()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_isa::timing::TimingClass;
+
+    #[test]
+    fn default_is_c240() {
+        let c = SimConfig::default();
+        assert!(c.chaining);
+        assert!(c.pair_constraint);
+        assert!(c.mem.refresh_enabled);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = SimConfig::c240()
+            .without_chaining()
+            .without_bubbles()
+            .without_refresh()
+            .without_pair_constraint()
+            .with_trace();
+        assert!(!c.chaining);
+        assert!(!c.pair_constraint);
+        assert!(!c.mem.refresh_enabled);
+        assert!(c.trace);
+        assert_eq!(c.timing.get(TimingClass::Store).b, 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Simulator errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error during a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The run exceeded the configured instruction limit (runaway loop).
+    InstructionLimit {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+    /// Control flow ran past the last instruction without a `halt`.
+    FellOffEnd {
+        /// Program counter at which the fetch failed.
+        pc: usize,
+    },
+    /// A scalar access used a negative or unaligned byte address.
+    BadAddress {
+        /// The offending byte address.
+        byte_addr: i64,
+    },
+    /// Instruction not supported by this simulator build.
+    Unsupported {
+        /// Program counter of the instruction.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InstructionLimit { limit } => {
+                write!(f, "instruction limit of {limit} exceeded (runaway loop?)")
+            }
+            SimError::FellOffEnd { pc } => {
+                write!(f, "control flow ran past the end of the program at pc {pc}")
+            }
+            SimError::BadAddress { byte_addr } => {
+                write!(f, "negative or unaligned scalar byte address {byte_addr}")
+            }
+            SimError::Unsupported { pc } => write!(f, "unsupported instruction at pc {pc}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SimError::InstructionLimit { limit: 5 }
+            .to_string()
+            .contains("5"));
+        assert!(SimError::FellOffEnd { pc: 3 }.to_string().contains("pc 3"));
+        assert!(SimError::BadAddress { byte_addr: -8 }
+            .to_string()
+            .contains("-8"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Cycle-level simulator of a Convex C-240 CPU.
+//!
+//! This crate is the *measurement substrate* of the MACS reproduction:
+//! where the paper ran kernels on real hardware, we run their assembly on
+//! a deterministic machine model with the paper's published parameters:
+//!
+//! * in-order single issue with hardware interlocks (§2),
+//! * an Address/Scalar Unit with a data cache; scalar memory accesses
+//!   share the CPU's single memory port with the vector stream and
+//!   therefore split chimes (§3.3),
+//! * a Vector Processor with three pipes (load/store, add, multiply),
+//!   eight 128-element vector registers, flexible operand chaining, the
+//!   register-pair read/write port limits, and the empirically calibrated
+//!   tailgating bubble `B` (Table 1, Eq. 13),
+//! * a 32-bank memory with 8-cycle bank busy time, refresh every 400
+//!   cycles, and optional background contention (§4.2).
+//!
+//! All model features can be ablated via [`SimConfig`] (chaining off,
+//! bubbles off, refresh off, pair constraint off) for the what-if studies.
+//!
+//! # Example
+//!
+//! Reproduce the chained chime of §3.3 of the paper:
+//!
+//! ```
+//! use c240_isa::ProgramBuilder;
+//! use c240_sim::{Cpu, SimConfig};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.set_vl_imm(128);
+//! b.vload("a5", 0, "v0");
+//! b.vadd("v0", "v1", "v2");
+//! b.vmul("v2", "v3", "v5");
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut cpu = Cpu::new(SimConfig::c240().without_refresh());
+//! let chained = cpu.run(&program)?.cycles;
+//!
+//! let mut cray2ish = Cpu::new(SimConfig::c240().without_refresh().without_chaining());
+//! let unchained = cray2ish.run(&program)?.cycles;
+//!
+//! // Chaining: ~162 cycles; without: ~422 (§3.3).
+//! assert!(chained < 170.0 && unchained > 400.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod cpu;
+mod error;
+mod stats;
+mod trace;
+
+pub use config::{ScalarTiming, SimConfig};
+pub use cpu::Cpu;
+pub use error::SimError;
+pub use stats::{ClassCounts, RunStats};
+pub use trace::{Trace, TraceEvent};

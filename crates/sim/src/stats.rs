@@ -1,0 +1,164 @@
+//! Run statistics reported by the simulator.
+
+use std::fmt;
+
+use c240_isa::{InstrClass, Pipe, CLOCK_MHZ};
+
+/// Aggregate statistics of one simulated run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunStats {
+    /// Total run time in cycles (when the last result lands).
+    pub cycles: f64,
+    /// Executed instructions by class.
+    pub instructions: ClassCounts,
+    /// Vector elements processed, per pipe.
+    pub elements: [u64; 3],
+    /// Floating point operations performed (vector + scalar), counted
+    /// as executed elements.
+    pub flops: u64,
+    /// Memory accesses issued (vector elements + scalar, including cache
+    /// misses only for scalars).
+    pub memory_accesses: u64,
+    /// Cycles memory accesses spent waiting on banks/refresh/contention.
+    pub memory_wait_cycles: f64,
+    /// Scalar cache hits.
+    pub cache_hits: u64,
+    /// Scalar cache misses.
+    pub cache_misses: u64,
+    /// Taken branches.
+    pub branches_taken: u64,
+}
+
+/// Executed-instruction counts by [`InstrClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCounts {
+    /// Vector loads/stores.
+    pub vector_mem: u64,
+    /// Vector floating point.
+    pub vector_fp: u64,
+    /// Scalar loads/stores.
+    pub scalar_mem: u64,
+    /// Other scalar instructions.
+    pub scalar: u64,
+    /// Branches and jumps.
+    pub control: u64,
+}
+
+impl ClassCounts {
+    /// Total executed instructions.
+    pub fn total(&self) -> u64 {
+        self.vector_mem + self.vector_fp + self.scalar_mem + self.scalar + self.control
+    }
+
+    pub(crate) fn bump(&mut self, class: InstrClass) {
+        match class {
+            InstrClass::VectorMem => self.vector_mem += 1,
+            InstrClass::VectorFp => self.vector_fp += 1,
+            InstrClass::ScalarMem => self.scalar_mem += 1,
+            InstrClass::Scalar => self.scalar += 1,
+            InstrClass::Control => self.control += 1,
+        }
+    }
+}
+
+impl RunStats {
+    /// Elements processed on one pipe.
+    pub fn elements_on(&self, pipe: Pipe) -> u64 {
+        self.elements[match pipe {
+            Pipe::LoadStore => 0,
+            Pipe::Add => 1,
+            Pipe::Multiply => 2,
+        }]
+    }
+
+    /// Cycles per `iterations` source-loop iterations — the paper's CPL
+    /// when `iterations` is the number of inner-loop iterations executed.
+    pub fn cpl(&self, iterations: u64) -> f64 {
+        assert!(iterations > 0, "iterations must be positive");
+        self.cycles / iterations as f64
+    }
+
+    /// Achieved MFLOPS at the C-240 clock (40 ns cycle).
+    pub fn mflops(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.flops as f64 * CLOCK_MHZ / self.cycles
+        }
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:           {:.2}", self.cycles)?;
+        writeln!(f, "instructions:     {}", self.instructions.total())?;
+        writeln!(
+            f,
+            "  vector mem/fp:  {} / {}",
+            self.instructions.vector_mem, self.instructions.vector_fp
+        )?;
+        writeln!(
+            f,
+            "  scalar mem/alu: {} / {}",
+            self.instructions.scalar_mem, self.instructions.scalar
+        )?;
+        writeln!(f, "  control:        {}", self.instructions.control)?;
+        writeln!(
+            f,
+            "elements ld/add/mul: {} / {} / {}",
+            self.elements[0], self.elements[1], self.elements[2]
+        )?;
+        writeln!(f, "flops:            {}", self.flops)?;
+        writeln!(f, "memory accesses:  {}", self.memory_accesses)?;
+        writeln!(f, "memory wait:      {:.2} cycles", self.memory_wait_cycles)?;
+        writeln!(
+            f,
+            "cache hit/miss:   {} / {}",
+            self.cache_hits, self.cache_misses
+        )?;
+        write!(f, "MFLOPS:           {:.2}", self.mflops())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_bump_and_total() {
+        let mut c = ClassCounts::default();
+        c.bump(InstrClass::VectorMem);
+        c.bump(InstrClass::VectorFp);
+        c.bump(InstrClass::VectorFp);
+        c.bump(InstrClass::Scalar);
+        c.bump(InstrClass::ScalarMem);
+        c.bump(InstrClass::Control);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.vector_fp, 2);
+    }
+
+    #[test]
+    fn cpl_and_mflops() {
+        let stats = RunStats {
+            cycles: 1000.0,
+            flops: 500,
+            ..RunStats::default()
+        };
+        assert_eq!(stats.cpl(100), 10.0);
+        // 500 flops in 1000 cycles at 25 MHz = 12.5 MFLOPS.
+        assert!((stats.mflops() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn cpl_zero_iterations_panics() {
+        let stats = RunStats::default();
+        let _ = stats.cpl(0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let text = RunStats::default().to_string();
+        assert!(text.contains("cycles"));
+    }
+}

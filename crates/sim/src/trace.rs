@@ -1,0 +1,177 @@
+//! Pipeline traces: per-instruction element timing, and the ASCII
+//! timeline used to regenerate Figure 2 of the paper.
+
+use std::fmt;
+
+use c240_isa::Pipe;
+
+/// One vector instruction's schedule in a traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Instruction index in the program.
+    pub pc: usize,
+    /// Disassembled text.
+    pub text: String,
+    /// Pipe the instruction executed on.
+    pub pipe: Pipe,
+    /// Cycle the instruction began issuing.
+    pub issue_start: f64,
+    /// Cycle its first element entered the pipe.
+    pub first_entry: f64,
+    /// Cycle its last element entered the pipe.
+    pub last_entry: f64,
+    /// Cycle its first element result was available.
+    pub first_result: f64,
+    /// Cycle its last element result was available.
+    pub last_result: f64,
+    /// Vector length used.
+    pub vl: u32,
+}
+
+impl TraceEvent {
+    /// Total occupancy of the instruction, issue to last result.
+    pub fn span(&self) -> f64 {
+        self.last_result - self.issue_start
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>9.2} .. {:>9.2}] {:<10} issue@{:<9.2} enter@{:<9.2} {} (VL={})",
+            self.first_entry, self.last_result, self.pipe, self.issue_start, self.first_entry,
+            self.text, self.vl
+        )
+    }
+}
+
+/// A recorded pipeline trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in issue order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders an ASCII Gantt chart of the first `limit` events —
+    /// the reproduction of Figure 2.
+    ///
+    /// Each row is one vector instruction; `#` marks cycles during which
+    /// elements of the instruction are entering its pipe, `-` the latency
+    /// tail until its last result. `scale` is cycles per character.
+    pub fn gantt(&self, limit: usize, scale: f64) -> String {
+        assert!(scale > 0.0, "scale must be positive");
+        let mut out = String::new();
+        let events = &self.events[..self.events.len().min(limit)];
+        if events.is_empty() {
+            return "(empty trace)\n".to_string();
+        }
+        let t0 = events
+            .iter()
+            .map(|e| e.issue_start)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = events.iter().map(|e| e.last_result).fold(0.0, f64::max);
+        let width = (((t1 - t0) / scale).ceil() as usize + 1).min(300);
+        let col = |t: f64| (((t - t0) / scale) as usize).min(width - 1);
+        out.push_str(&format!(
+            "cycles {:.0}..{:.0}, {} cycles/char\n",
+            t0, t1, scale
+        ));
+        for e in events {
+            let mut row = vec![b' '; width];
+            let entry_a = col(e.first_entry);
+            let entry_b = col(e.last_entry);
+            let result_b = col(e.last_result);
+            for c in &mut row[entry_a..=entry_b] {
+                *c = b'#';
+            }
+            for c in &mut row[entry_b + 1..=result_b.max(entry_b + 1).min(width - 1)] {
+                *c = b'-';
+            }
+            let issue = col(e.issue_start);
+            if row[issue] == b' ' {
+                row[issue] = b'i';
+            }
+            out.push_str(&format!(
+                "{:<22} |{}| {:>7.0}..{:<7.0}\n",
+                truncate(&e.text, 22),
+                String::from_utf8(row).expect("ascii row"),
+                e.first_entry,
+                e.last_result,
+            ));
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(t: f64) -> TraceEvent {
+        TraceEvent {
+            pc: 0,
+            text: "ld.l 0(a5),v0".into(),
+            pipe: Pipe::LoadStore,
+            issue_start: t,
+            first_entry: t + 2.0,
+            last_entry: t + 129.0,
+            first_result: t + 12.0,
+            last_result: t + 139.0,
+            vl: 128,
+        }
+    }
+
+    #[test]
+    fn span() {
+        let e = event(0.0);
+        assert_eq!(e.span(), 139.0);
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let mut t = Trace::default();
+        t.push(event(0.0));
+        t.push(event(130.0));
+        let g = t.gantt(10, 4.0);
+        assert!(g.contains("ld.l"));
+        assert!(g.contains('#'));
+        assert_eq!(g.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_trace_gantt() {
+        let t = Trace::default();
+        assert!(t.gantt(10, 1.0).contains("empty"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn display_event() {
+        let text = event(5.0).to_string();
+        assert!(text.contains("ld.l"));
+        assert!(text.contains("VL=128"));
+    }
+}

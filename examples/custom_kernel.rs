@@ -1,0 +1,86 @@
+//! Analyze your own loop: write it as compiler IR, compile it with two
+//! different schedules, and see how the MACS bound (but not MA or MAC)
+//! reacts — the "S" of the model.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use c240_sim::{Cpu, SimConfig};
+use macs_compiler::{
+    analyze_ma, compile, CompileOptions, Kernel, ScheduleStrategy, load, param,
+};
+use macs_core::{ChimeConfig, KernelBounds};
+
+fn main() {
+    // A five-point stencil: y(k) = a*(x(k-…)+…) — written with shifted
+    // offsets so the loop starts at zero.
+    let kernel = Kernel::new("stencil5")
+        .array("x", 6000)
+        .array("y", 6000)
+        .param("a", 0.2)
+        .store(
+            "y",
+            2,
+            param("a")
+                * (load("x", 0) + load("x", 1) + load("x", 2) + load("x", 3) + load("x", 4)),
+        );
+    let n = 5000u64;
+
+    let ma = analyze_ma(&kernel);
+    println!("kernel:\n{kernel}");
+    println!("MA workload: {ma}");
+    println!(
+        "  (perfect reuse sees ONE x-stream: t_MA = {} CPL = {:.3} CPF)\n",
+        ma.t_ma_cpl(),
+        ma.t_ma_cpf()
+    );
+
+    for (name, schedule) in [
+        ("interleaved (chime-aware)", ScheduleStrategy::Interleaved),
+        ("loads-first (naive)", ScheduleStrategy::LoadsFirst),
+    ] {
+        let compiled = compile(
+            &kernel,
+            n,
+            CompileOptions {
+                schedule,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("stencil compiles");
+
+        let bounds = KernelBounds::compute("stencil5", ma, &compiled.program, &ChimeConfig::c240());
+
+        // Measure on the simulator: bind the arrays per the compiled
+        // layout and run.
+        let mut cpu = Cpu::new(SimConfig::c240());
+        let x_base = compiled.layout.base_word("x").expect("x is laid out");
+        for i in 0..6000 {
+            cpu.mem_mut().poke(x_base + i, 1.0 + (i % 7) as f64);
+        }
+        let stats = cpu.run(&compiled.program).expect("compiled code runs");
+        let measured_cpf = stats.cycles / n as f64 / f64::from(kernel.flops_total());
+
+        println!("schedule: {name}");
+        println!(
+            "  t_MA {:.3}  t_MAC {:.3}  t_MACS {:.3}  measured {:.3} CPF",
+            bounds.t_ma_cpf(),
+            bounds.t_mac_cpf(),
+            bounds.t_macs_cpf(),
+            measured_cpf
+        );
+        println!(
+            "  {} chimes, {} scalar splits\n",
+            bounds.macs.full.chimes().len(),
+            bounds.macs.full.scalar_splits()
+        );
+    }
+    println!("Note how MA and MAC are schedule-invariant while MACS (and the");
+    println!("measurement) move with the instruction order — §3.4 of the paper.");
+    println!();
+    println!("For the bursty loads-first schedule the chime sum can sit slightly");
+    println!("ABOVE the measurement: the model charges f-only chimes serially,");
+    println!("while the machine hides some of them under the next memory chime —");
+    println!("the imperfect-merging caveat of §3.4.");
+}

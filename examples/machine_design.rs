@@ -1,0 +1,87 @@
+//! Machine design space: what would LFK 1 cost on variants of the
+//! C-240? The bounds hierarchy doubles as an architect's tool — the
+//! paper's conclusion suggests exactly this use.
+//!
+//! ```text
+//! cargo run --release --example machine_design
+//! ```
+
+use c240_mem::ContentionConfig;
+use c240_sim::{Cpu, SimConfig};
+use lfk_suite::by_id;
+use macs_core::{ChimeConfig, KernelBounds};
+
+fn measure(config: &SimConfig) -> f64 {
+    let kernel = by_id(1).expect("LFK1");
+    let mut cpu = Cpu::new(config.clone());
+    kernel.setup(&mut cpu);
+    let stats = cpu.run(&kernel.program()).expect("LFK1 runs");
+    stats.cycles / kernel.iterations() as f64 / 5.0
+}
+
+fn main() {
+    let kernel = by_id(1).expect("LFK1");
+    let program = kernel.program();
+
+    println!("LFK1 on C-240 design variants (CPF):\n");
+    println!(
+        "{:<34} {:>8} {:>9}",
+        "machine", "t_MACS", "measured"
+    );
+
+    let variants: Vec<(&str, SimConfig, ChimeConfig)> = vec![
+        ("C-240 (paper)", SimConfig::c240(), ChimeConfig::c240()),
+        (
+            "no tailgating bubbles (Eq. 5)",
+            SimConfig::c240().without_bubbles(),
+            ChimeConfig::c240().without_bubbles(),
+        ),
+        (
+            "no memory refresh",
+            SimConfig::c240().without_refresh(),
+            ChimeConfig::c240().without_refresh(),
+        ),
+        (
+            "no chaining (Cray-2 style)",
+            SimConfig::c240().without_chaining(),
+            // The chime bound presumes chaining; report it unchanged and
+            // watch the measurement blow past it.
+            ChimeConfig::c240(),
+        ),
+        (
+            "3 busy neighbor CPUs (mixed)",
+            SimConfig {
+                mem: SimConfig::c240().mem.with_contention(ContentionConfig::mixed(3)),
+                ..SimConfig::c240()
+            },
+            ChimeConfig::c240(),
+        ),
+        (
+            "3 lockstep neighbor CPUs",
+            SimConfig {
+                mem: SimConfig::c240()
+                    .mem
+                    .with_contention(ContentionConfig::lockstep(3)),
+                ..SimConfig::c240()
+            },
+            ChimeConfig::c240(),
+        ),
+    ];
+
+    for (name, sim, chime) in variants {
+        let bounds = KernelBounds::compute("LFK1", kernel.ma(), &program, &chime);
+        let measured = measure(&sim);
+        println!(
+            "{:<34} {:>8.3} {:>9.3}",
+            name,
+            bounds.t_macs_cpf(),
+            measured
+        );
+    }
+
+    println!(
+        "\nReadings: bubbles and refresh cost ~2% each on this kernel; losing\n\
+         chaining roughly triples the time (§3.3's 162 vs 422); a loaded\n\
+         machine degrades memory-bound loops per §4.2's rules of thumb."
+    );
+}

@@ -1,0 +1,8 @@
+//! Workspace facade re-exporting all MACS crates.
+pub use c240_isa as isa;
+pub use c240_mem as mem;
+pub use c240_sim as sim;
+pub use lfk_suite as lfk;
+pub use macs_compiler as compiler;
+pub use macs_core as core;
+pub use macs_experiments as experiments;

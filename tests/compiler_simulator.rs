@@ -1,0 +1,190 @@
+//! Cross-validation of the vectorizing compiler against the IR
+//! interpreter: compiled code run on the simulator must compute exactly
+//! what the kernel IR means.
+
+use std::collections::BTreeMap;
+
+use c240_sim::{Cpu, SimConfig};
+use macs_compiler::{
+    compile, con, load, load_strided, param, CompileOptions, CompiledKernel, Kernel,
+    ReductionStyle, ScheduleStrategy,
+};
+
+/// Binds a kernel's arrays into simulator memory per the compiled
+/// layout, runs, and returns the final array images.
+fn run_compiled(
+    compiled: &CompiledKernel,
+    kernel: &Kernel,
+    data: &BTreeMap<String, Vec<f64>>,
+) -> (BTreeMap<String, Vec<f64>>, BTreeMap<String, f64>) {
+    let mut cpu = Cpu::new(SimConfig::c240());
+    for decl in kernel.arrays() {
+        let base = compiled.layout.base_word(&decl.name).expect("laid out");
+        for (i, &v) in data[&decl.name].iter().enumerate() {
+            cpu.mem_mut().poke(base + i as u64, v);
+        }
+    }
+    cpu.run(&compiled.program).expect("compiled kernel runs");
+    let mut out = BTreeMap::new();
+    for decl in kernel.arrays() {
+        let base = compiled.layout.base_word(&decl.name).expect("laid out");
+        out.insert(
+            decl.name.clone(),
+            (0..decl.len).map(|i| cpu.mem().peek(base + i)).collect(),
+        );
+    }
+    let mut accs = BTreeMap::new();
+    for (name, reg) in &compiled.reduction_regs {
+        accs.insert(name.clone(), cpu.sreg_fp(*reg));
+    }
+    (out, accs)
+}
+
+fn data_for(kernel: &Kernel, seed: u64) -> BTreeMap<String, Vec<f64>> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        0.5 + (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    kernel
+        .arrays()
+        .iter()
+        .map(|a| (a.name.clone(), (0..a.len).map(|_| next()).collect()))
+        .collect()
+}
+
+fn check_equiv(kernel: &Kernel, n: u64, options: CompileOptions, tol: f64) {
+    let compiled = compile(kernel, n, options).expect("kernel compiles");
+    let data = data_for(kernel, 42 + n);
+    let (sim_arrays, sim_accs) = run_compiled(&compiled, kernel, &data);
+
+    let mut ref_data = data.clone();
+    let ref_params = kernel.interpret(&mut ref_data, n);
+
+    for (name, expected) in &ref_data {
+        let got = &sim_arrays[name];
+        for (i, (g, e)) in got.iter().zip(expected).enumerate() {
+            assert!(
+                (g - e).abs() <= tol * e.abs().max(1.0),
+                "{name}[{i}]: simulated {g} vs interpreted {e} ({options:?})"
+            );
+        }
+    }
+    for (name, got) in &sim_accs {
+        let expected = ref_params[name];
+        assert!(
+            (got - expected).abs() <= tol * expected.abs().max(1.0),
+            "accumulator {name}: simulated {got} vs interpreted {expected}"
+        );
+    }
+}
+
+#[test]
+fn triad_compiles_and_matches_interpreter() {
+    let k = Kernel::new("triad")
+        .array("x", 2000)
+        .array("y", 2000)
+        .array("z", 2000)
+        .param("a", 3.0)
+        .store("x", 0, load("y", 0) + param("a") * load("z", 0));
+    for schedule in [ScheduleStrategy::Interleaved, ScheduleStrategy::LoadsFirst] {
+        check_equiv(
+            &k,
+            1000,
+            CompileOptions {
+                schedule,
+                ..CompileOptions::default()
+            },
+            1e-13,
+        );
+    }
+}
+
+#[test]
+fn lfk1_ir_compiles_and_matches_interpreter() {
+    let k = lfk_suite::by_id(1).unwrap().ir().expect("LFK1 has IR");
+    check_equiv(&k, 1001, CompileOptions::default(), 1e-13);
+}
+
+#[test]
+fn stencil_with_division_and_negation() {
+    let k = Kernel::new("oddops")
+        .array("x", 2000)
+        .array("y", 2100)
+        .store(
+            "x",
+            0,
+            -(load("y", 0) / load("y", 3)) + con(2.0) * load("y", 1),
+        );
+    check_equiv(&k, 1000, CompileOptions::default(), 1e-13);
+}
+
+#[test]
+fn dot_product_both_reduction_styles() {
+    let k = Kernel::new("dot")
+        .array("p", 2000)
+        .array("q", 2000)
+        .param("acc", 0.25)
+        .reduce("acc", false, load("p", 0) * load("q", 0));
+    for reduction in [ReductionStyle::Elementwise, ReductionStyle::PerStrip] {
+        check_equiv(
+            &k,
+            777,
+            CompileOptions {
+                reduction,
+                ..CompileOptions::default()
+            },
+            1e-9,
+        );
+    }
+}
+
+#[test]
+fn strided_kernel_matches() {
+    let k = Kernel::new("strided")
+        .array("px", 26000)
+        .array("out", 2000)
+        .store(
+            "out",
+            0,
+            load_strided("px", 4, 25) - load_strided("px", 7, 25),
+        );
+    check_equiv(&k, 1000, CompileOptions::default(), 1e-13);
+}
+
+#[test]
+fn stepped_kernel_matches() {
+    let k = Kernel::new("evens")
+        .array("a", 2100)
+        .array("b", 2100)
+        .step(2)
+        .store("b", 0, load("a", 0) + load("a", 1));
+    check_equiv(&k, 1000, CompileOptions::default(), 1e-13);
+}
+
+#[test]
+fn subtract_accumulator_matches() {
+    let k = Kernel::new("negdot")
+        .array("p", 1500)
+        .param("acc", 100.0)
+        .reduce("acc", true, load("p", 0) * con(0.5));
+    check_equiv(&k, 1400, CompileOptions::default(), 1e-9);
+}
+
+#[test]
+fn spilled_arrays_still_compute_correctly() {
+    let mut k = Kernel::new("many").array("o", 1500);
+    let mut expr = load("in0", 0);
+    k = k.array("in0", 1500);
+    for i in 1..8 {
+        let name = format!("in{i}");
+        k = k.array(&name, 1500);
+        expr = expr + load(&name, 0);
+    }
+    let k = k.store("o", 0, expr);
+    let compiled = compile(&k, 1000, CompileOptions::default()).expect("compiles with spills");
+    assert!(!compiled.spilled_arrays.is_empty());
+    check_equiv(&k, 1000, CompileOptions::default(), 1e-13);
+}

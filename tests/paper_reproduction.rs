@@ -1,0 +1,208 @@
+//! The headline integration test: the ten-kernel case study reproduces
+//! the paper's Tables 2–5 — bounds essentially exactly, measurements in
+//! shape.
+
+use macs_experiments::{paper, Suite};
+use std::sync::OnceLock;
+
+fn suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(Suite::run)
+}
+
+/// MA and MAC bounds (CPF) match the paper exactly.
+#[test]
+fn ma_and_mac_bounds_match_paper_exactly() {
+    for r in &suite().rows {
+        let p = paper::table4_row(r.id).expect("paper row");
+        assert!(
+            (r.analysis.bounds.t_ma_cpf() - p.t_ma).abs() < 0.001,
+            "LFK{}: t_MA {} vs paper {}",
+            r.id,
+            r.analysis.bounds.t_ma_cpf(),
+            p.t_ma
+        );
+        assert!(
+            (r.analysis.bounds.t_mac_cpf() - p.t_mac).abs() < 0.001,
+            "LFK{}: t_MAC {} vs paper {}",
+            r.id,
+            r.analysis.bounds.t_mac_cpf(),
+            p.t_mac
+        );
+    }
+}
+
+/// MACS bounds (CPF) match the paper within 1% for the regular kernels;
+/// the reduction kernels (4, 6) are within 1% too; LFK8 — whose exact
+/// schedule the paper does not print — within 15% with the correct
+/// relationship to MAC preserved.
+#[test]
+fn macs_bounds_match_paper() {
+    for r in &suite().rows {
+        let p = paper::table4_row(r.id).expect("paper row");
+        let ours = r.analysis.bounds.t_macs_cpf();
+        let tol = if r.id == 8 { 0.15 } else { 0.01 };
+        assert!(
+            (ours - p.t_macs).abs() <= tol * p.t_macs,
+            "LFK{}: t_MACS {} vs paper {}",
+            r.id,
+            ours,
+            p.t_macs
+        );
+    }
+}
+
+/// Measured CPF tracks the paper's t_p column: near-bound kernels stay
+/// near bound, the problem kernels stay far above it.
+#[test]
+fn measured_performance_tracks_paper_shape() {
+    // Kernels the paper's MACS bound explains well (≥ 90%).
+    for id in [1u32, 3, 7, 8, 9, 10, 12] {
+        let r = suite().row(id).unwrap();
+        assert!(
+            r.analysis.pct_macs() >= 0.88,
+            "LFK{id}: explained {:.3} should be ≥ ~0.9",
+            r.analysis.pct_macs()
+        );
+    }
+    // Kernels dominated by unmodeled effects (paper: 41.5%, 65.8%, 46.4%).
+    for id in [2u32, 4, 6] {
+        let r = suite().row(id).unwrap();
+        assert!(
+            r.analysis.pct_macs() <= 0.88,
+            "LFK{id}: explained {:.3} should be well below 0.9",
+            r.analysis.pct_macs()
+        );
+    }
+}
+
+/// The two worst-explained kernels are LFK2 and LFK6, as in the paper
+/// (41.5% and 46.4% there; the ordering between the two is within the
+/// noise of the reproduction).
+#[test]
+fn lfk2_and_lfk6_are_the_worst_explained_kernels() {
+    let mut by_explained: Vec<_> = suite().rows.iter().collect();
+    by_explained.sort_by(|a, b| {
+        a.analysis
+            .pct_macs()
+            .partial_cmp(&b.analysis.pct_macs())
+            .unwrap()
+    });
+    let worst_two: Vec<u32> = by_explained[..2].iter().map(|r| r.id).collect();
+    assert!(worst_two.contains(&2), "{worst_two:?}");
+    assert!(worst_two.contains(&6), "{worst_two:?}");
+}
+
+/// Table 4 footer: the bound columns average to the paper's values, and
+/// the harmonic-mean MFLOPS come out right (Eq. 4).
+#[test]
+fn table4_averages_match() {
+    let n = suite().rows.len() as f64;
+    let avg =
+        |f: &dyn Fn(&macs_experiments::KernelRow) -> f64|
+
+            suite().rows.iter().map(f).sum::<f64>() / n;
+    let avg_ma = avg(&|r| r.analysis.bounds.t_ma_cpf());
+    let avg_mac = avg(&|r| r.analysis.bounds.t_mac_cpf());
+    let avg_macs = avg(&|r| r.analysis.bounds.t_macs_cpf());
+    assert!((avg_ma - paper::TABLE4_AVG[0]).abs() < 0.005, "{avg_ma}");
+    assert!((avg_mac - paper::TABLE4_AVG[1]).abs() < 0.005, "{avg_mac}");
+    assert!((avg_macs - paper::TABLE4_AVG[2]).abs() < 0.05, "{avg_macs}");
+    let mflops_ma = macs_core::hmean_mflops(&[avg_ma]);
+    assert!((mflops_ma - paper::TABLE4_MFLOPS[0]).abs() < 0.1);
+}
+
+/// Table 5 structure: the A-process tracks t^m_MACS and the X-process
+/// tracks t^f_MACS for the kernels whose behavior the model captures —
+/// the paper: "Except for LFKs 2, 4, and 6 the calculated bounds closely
+/// model the measured results".
+#[test]
+fn ax_measurements_track_their_sub_bounds() {
+    for r in &suite().rows {
+        if matches!(r.id, 2 | 4 | 6) {
+            continue;
+        }
+        let a = &r.analysis;
+        let fa = a.t_x_cpl() / a.bounds.macs.f_cpl();
+        let ma = a.t_a_cpl() / a.bounds.macs.m_cpl();
+        assert!(
+            (0.95..=1.25).contains(&fa),
+            "LFK{}: t_x {:.2} vs t^f {:.2}",
+            r.id,
+            a.t_x_cpl(),
+            a.bounds.macs.f_cpl()
+        );
+        assert!(
+            (0.95..=1.25).contains(&ma),
+            "LFK{}: t_a {:.2} vs t^m {:.2}",
+            r.id,
+            a.t_a_cpl(),
+            a.bounds.macs.m_cpl()
+        );
+    }
+}
+
+/// §4.4's per-kernel stories come out of the automated diagnosis.
+#[test]
+fn diagnosis_matches_section_4_4() {
+    use macs_core::Finding;
+    let has = |id: u32, pred: &dyn Fn(&Finding) -> bool| {
+        suite()
+            .row(id)
+            .unwrap()
+            .analysis
+            .findings()
+            .iter()
+            .any(pred)
+    };
+    // LFK1, 7, 12: compiler-inserted memory references.
+    for id in [1, 7, 12] {
+        assert!(
+            has(id, &|f| matches!(f, Finding::CompilerInsertedMemOps { .. })),
+            "LFK{id} should flag compiler reloads"
+        );
+    }
+    // LFK7: imperfect f-overlap (the ninth chime).
+    assert!(has(7, &|f| matches!(f, Finding::ImperfectFpOverlap { .. })));
+    // LFK8: scalar loads split chimes; poor A/X overlap.
+    assert!(has(8, &|f| matches!(f, Finding::ScalarSplitsChimes { .. })));
+    assert!(has(8, &|f| matches!(f, Finding::PoorAxOverlap { .. })));
+    // LFK2, 6: unmodeled effects dominate.
+    for id in [2, 6] {
+        assert!(
+            has(id, &|f| matches!(f, Finding::UnmodeledEffects { .. })),
+            "LFK{id} should flag unmodeled effects"
+        );
+    }
+    // LFK3, 9, 10: near bound.
+    for id in [3, 9, 10] {
+        assert!(
+            has(id, &|f| matches!(f, Finding::NearBound { .. })),
+            "LFK{id} should be near bound"
+        );
+    }
+}
+
+/// LFK7's paper signature: `t^f − t'_f > 1` (the ninth chime), while
+/// `t_MACS` remains memory-dominated.
+#[test]
+fn lfk7_ninth_chime() {
+    let r = suite().row(7).unwrap();
+    let gap = r.analysis.bounds.macs.f_cpl() - r.analysis.bounds.mac.t_f();
+    assert!(gap > 1.0, "t^f - t'_f = {gap}");
+    assert!((r.analysis.bounds.macs.f_cpl() - 9.13).abs() < 0.05);
+    assert!((r.analysis.bounds.macs.m_cpl() - 10.37).abs() < 0.05);
+}
+
+/// LFK8's paper signature: `t_MACS ≫ t'_m ≈ t'_f` because scalar loads
+/// split chimes.
+#[test]
+fn lfk8_scalar_splits_dominate() {
+    let r = suite().row(8).unwrap();
+    let b = &r.analysis.bounds;
+    assert!(b.t_macs_cpl() > 1.3 * b.mac.t_m(), "{}", b.t_macs_cpl());
+    assert!(b.macs.full.scalar_splits() > 0);
+    // t^f and t^m stay near the paper's 21.28 / 21.85.
+    assert!((b.macs.f_cpl() - 21.28).abs() < 0.3);
+    assert!((b.macs.m_cpl() - 21.85).abs() < 0.3);
+}
