@@ -1,16 +1,16 @@
 //! Ablations of the machine-model design choices the paper calls out:
 //! each group measures a workload's simulated cycles (reported via
-//! custom "cycles" prints) while timing the simulation itself.
+//! "cycles" prints) while timing the simulation itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use c240_mem::ContentionConfig;
 use c240_sim::{Cpu, SimConfig};
+use macs_bench::timing::Bench;
 use macs_bench::{memory_loop, triad_loop};
-use macs_core::{partition_chimes, ChimeConfig};
 use macs_compiler::{compile, CompileOptions, Kernel, ScheduleStrategy};
 use macs_compiler::{load, param};
+use macs_core::{partition_chimes, ChimeConfig};
 
 fn run_cycles(config: &SimConfig, program: &c240_isa::Program) -> f64 {
     let mut cpu = Cpu::new(config.clone());
@@ -23,10 +23,9 @@ fn run_cycles(config: &SimConfig, program: &c240_isa::Program) -> f64 {
 
 /// Eq. 5 vs Eq. 13: the tailgating bubble `B` on and off, and refresh
 /// on and off.
-fn bench_bubbles_refresh(c: &mut Criterion) {
+fn bench_bubbles_refresh() {
     let program = triad_loop(40, 128);
-    let mut g = c.benchmark_group("bubbles_refresh");
-    g.sample_size(10);
+    let mut g = Bench::group("bubbles_refresh");
     for (name, config) in [
         ("c240", SimConfig::c240()),
         ("no_bubbles", SimConfig::c240().without_bubbles()),
@@ -38,64 +37,56 @@ fn bench_bubbles_refresh(c: &mut Criterion) {
     ] {
         let cycles = run_cycles(&config, &program);
         println!("bubbles_refresh/{name}: {cycles:.1} simulated cycles");
-        g.bench_function(name, |b| b.iter(|| black_box(run_cycles(&config, &program))));
+        g.bench(name, || black_box(run_cycles(&config, &program)));
     }
-    g.finish();
 }
 
 /// Chaining on vs off (§3.3: 162 vs 422 cycles for one chime).
-fn bench_chaining(c: &mut Criterion) {
+fn bench_chaining() {
     let program = triad_loop(40, 128);
-    let mut g = c.benchmark_group("chaining");
-    g.sample_size(10);
+    let mut g = Bench::group("chaining");
     for (name, config) in [
         ("chained", SimConfig::c240()),
         ("cray2_style", SimConfig::c240().without_chaining()),
     ] {
         let cycles = run_cycles(&config, &program);
         println!("chaining/{name}: {cycles:.1} simulated cycles");
-        g.bench_function(name, |b| b.iter(|| black_box(run_cycles(&config, &program))));
+        g.bench(name, || black_box(run_cycles(&config, &program)));
     }
-    g.finish();
 }
 
 /// Stride sweep: bank conflicts emerge at power-of-two strides (§3.1's
 /// "fifth degree of freedom, D").
-fn bench_strides(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stride");
-    g.sample_size(10);
+fn bench_strides() {
+    let mut g = Bench::group("stride");
     for stride in [1i64, 2, 5, 8, 16, 25, 32] {
         let program = memory_loop(2, 20, 128, stride);
         let cycles = run_cycles(&SimConfig::c240(), &program);
         println!("stride/{stride}: {cycles:.1} simulated cycles");
-        g.bench_with_input(BenchmarkId::from_parameter(stride), &stride, |b, _| {
-            b.iter(|| black_box(run_cycles(&SimConfig::c240(), &program)))
+        g.bench(&stride.to_string(), || {
+            black_box(run_cycles(&SimConfig::c240(), &program))
         });
     }
-    g.finish();
 }
 
 /// Vector-length sweep: short vectors lose the steady state (§3.2, the
 /// LFK 2/6 story).
-fn bench_vector_length(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vector_length");
-    g.sample_size(10);
+fn bench_vector_length() {
+    let mut g = Bench::group("vector_length");
     for vl in [8u32, 16, 32, 64, 128] {
         let program = triad_loop(40, vl);
         let cycles = run_cycles(&SimConfig::c240(), &program);
         let per_elem = cycles / (40.0 * f64::from(vl));
         println!("vector_length/{vl}: {per_elem:.3} cycles/element");
-        g.bench_with_input(BenchmarkId::from_parameter(vl), &vl, |b, _| {
-            b.iter(|| black_box(run_cycles(&SimConfig::c240(), &program)))
+        g.bench(&vl.to_string(), || {
+            black_box(run_cycles(&SimConfig::c240(), &program))
         });
     }
-    g.finish();
 }
 
 /// Contention sweep (Figure 3 / §4.2's rules of thumb).
-fn bench_contention(c: &mut Criterion) {
-    let mut g = c.benchmark_group("contention");
-    g.sample_size(10);
+fn bench_contention() {
+    let mut g = Bench::group("contention");
     for (name, contention) in [
         ("idle", ContentionConfig::idle()),
         ("lockstep3", ContentionConfig::lockstep(3)),
@@ -108,15 +99,13 @@ fn bench_contention(c: &mut Criterion) {
         let program = memory_loop(2, 40, 128, 1);
         let cycles = run_cycles(&config, &program);
         println!("contention/{name}: {cycles:.1} simulated cycles");
-        g.bench_function(name, |b| b.iter(|| black_box(run_cycles(&config, &program))));
+        g.bench(name, || black_box(run_cycles(&config, &program)));
     }
-    g.finish();
 }
 
 /// Bank-count sweep.
-fn bench_banks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("banks");
-    g.sample_size(10);
+fn bench_banks() {
+    let mut g = Bench::group("banks");
     for banks in [8u32, 16, 32, 64] {
         let config = SimConfig {
             mem: SimConfig::c240().mem.with_banks(banks),
@@ -125,24 +114,22 @@ fn bench_banks(c: &mut Criterion) {
         let program = memory_loop(2, 20, 128, 8);
         let cycles = run_cycles(&config, &program);
         println!("banks/{banks} (stride 8): {cycles:.1} simulated cycles");
-        g.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, _| {
-            b.iter(|| black_box(run_cycles(&config, &program)))
+        g.bench(&banks.to_string(), || {
+            black_box(run_cycles(&config, &program))
         });
     }
-    g.finish();
 }
 
 /// Schedule sensitivity: the same kernel compiled with the interleaved
 /// vs loads-first schedule has a different MACS bound — the "S" of MACS.
-fn bench_schedules(c: &mut Criterion) {
+fn bench_schedules() {
     let kernel = Kernel::new("triad")
         .array("x", 6000)
         .array("y", 6000)
         .array("z", 6000)
         .param("a", 3.0)
         .store("x", 0, load("y", 0) + param("a") * load("z", 0));
-    let mut g = c.benchmark_group("schedule");
-    g.sample_size(10);
+    let mut g = Bench::group("schedule");
     for (name, strategy) in [
         ("interleaved", ScheduleStrategy::Interleaved),
         ("loads_first", ScheduleStrategy::LoadsFirst),
@@ -163,25 +150,21 @@ fn bench_schedules(c: &mut Criterion) {
             part.cpl(),
             part.chimes().len()
         );
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let l = compiled.program.innermost_loop().unwrap();
-                black_box(partition_chimes(
-                    compiled.program.loop_body(l),
-                    &ChimeConfig::c240(),
-                ))
-            })
+        g.bench(name, || {
+            let l = compiled.program.innermost_loop().unwrap();
+            black_box(partition_chimes(
+                compiled.program.loop_body(l),
+                &ChimeConfig::c240(),
+            ))
         });
     }
-    g.finish();
 }
 
 /// Reduction timing sensitivity: Table 1 footnote b (Z between 1.35 and
 /// 1.5).
-fn bench_reduction_z(c: &mut Criterion) {
+fn bench_reduction_z() {
     use c240_isa::timing::{TimingClass, VectorTiming};
-    let mut g = c.benchmark_group("reduction_z");
-    g.sample_size(10);
+    let mut g = Bench::group("reduction_z");
     let body = {
         let p = c240_isa::asm::assemble(
             "L:
@@ -197,26 +180,23 @@ fn bench_reduction_z(c: &mut Criterion) {
     };
     for z in [1.0f64, 1.35, 1.5] {
         let mut chime = ChimeConfig::c240();
-        let mut t = chime.timing.get(TimingClass::Reduction);
-        t.z = z;
+        let t = chime.timing.get(TimingClass::Reduction);
         chime
             .timing
             .set(TimingClass::Reduction, VectorTiming { z, ..t });
         let part = partition_chimes(&body, &chime);
         println!("reduction_z/{z}: t_MACS = {:.3} CPL", part.cpl());
-        g.bench_with_input(BenchmarkId::from_parameter(z), &z, |b, _| {
-            b.iter(|| black_box(partition_chimes(&body, &chime)))
+        g.bench(&z.to_string(), || {
+            black_box(partition_chimes(&body, &chime))
         });
     }
-    g.finish();
 }
 
 /// MACS vs MACS-D on strided workloads (the paper's "fifth degree of
 /// freedom, D").
-fn bench_macs_d(c: &mut Criterion) {
+fn bench_macs_d() {
     use macs_core::BankModel;
-    let mut g = c.benchmark_group("macs_d");
-    g.sample_size(10);
+    let mut g = Bench::group("macs_d");
     for stride in [1i64, 8, 16, 32] {
         let program = memory_loop(2, 20, 128, stride);
         let l = program.innermost_loop().unwrap();
@@ -231,20 +211,17 @@ fn bench_macs_d(c: &mut Criterion) {
             plain.cpl(),
             with_d.cpl()
         );
-        g.bench_with_input(BenchmarkId::from_parameter(stride), &stride, |b, _| {
-            b.iter(|| {
-                black_box(partition_chimes(
-                    &body,
-                    &ChimeConfig::c240().with_bank_model(BankModel::c240()),
-                ))
-            })
+        g.bench(&stride.to_string(), || {
+            black_box(partition_chimes(
+                &body,
+                &ChimeConfig::c240().with_bank_model(BankModel::c240()),
+            ))
         });
     }
-    g.finish();
 }
 
 /// The rescheduler's cost and benefit on a loads-first stencil.
-fn bench_rescheduler(c: &mut Criterion) {
+fn bench_rescheduler() {
     use macs_core::reschedule_for_chimes;
     let kernel = Kernel::new("stencil")
         .array("x", 6100)
@@ -253,8 +230,7 @@ fn bench_rescheduler(c: &mut Criterion) {
         .store(
             "y",
             0,
-            param("a")
-                * (load("x", 0) + load("x", 1) + load("x", 2) + load("x", 3) + load("x", 4)),
+            param("a") * (load("x", 0) + load("x", 1) + load("x", 2) + load("x", 3) + load("x", 4)),
         );
     let compiled = compile(
         &kernel,
@@ -271,22 +247,19 @@ fn bench_rescheduler(c: &mut Criterion) {
     let before = partition_chimes(&body, &cfg).cpl();
     let after = partition_chimes(&reschedule_for_chimes(&body, &cfg), &cfg).cpl();
     println!("rescheduler: {before:.2} -> {after:.2} CPL");
-    c.bench_function("rescheduler/stencil", |b| {
-        b.iter(|| black_box(reschedule_for_chimes(&body, &cfg)))
-    });
+    let mut g = Bench::group("rescheduler");
+    g.bench("stencil", || black_box(reschedule_for_chimes(&body, &cfg)));
 }
 
-criterion_group!(
-    benches,
-    bench_bubbles_refresh,
-    bench_chaining,
-    bench_strides,
-    bench_vector_length,
-    bench_contention,
-    bench_banks,
-    bench_schedules,
-    bench_reduction_z,
-    bench_macs_d,
-    bench_rescheduler
-);
-criterion_main!(benches);
+fn main() {
+    bench_bubbles_refresh();
+    bench_chaining();
+    bench_strides();
+    bench_vector_length();
+    bench_contention();
+    bench_banks();
+    bench_schedules();
+    bench_reduction_z();
+    bench_macs_d();
+    bench_rescheduler();
+}

@@ -1,38 +1,40 @@
 //! Raw throughput of the reproduction machinery itself: simulator
 //! element rate, assembler, chime partitioner, and compiler.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use c240_sim::{Cpu, SimConfig};
+use macs_bench::timing::Bench;
 use macs_bench::triad_loop;
-use macs_core::{partition_chimes, ChimeConfig};
 use macs_compiler::{compile, CompileOptions, Kernel};
 use macs_compiler::{load, param};
+use macs_core::{partition_chimes, ChimeConfig};
 
-fn bench_simulator_throughput(c: &mut Criterion) {
+fn bench_simulator_throughput() {
     let strips = 100i64;
     let program = triad_loop(strips, 128);
     let elements = (strips as u64) * 128 * 5; // 5 vector ops per strip
-    let mut g = c.benchmark_group("simulator");
-    g.throughput(Throughput::Elements(elements));
-    g.bench_function("triad_elements", |b| {
-        b.iter(|| {
-            let mut cpu = Cpu::new(SimConfig::c240());
-            cpu.set_areg(1, 0);
-            cpu.set_areg(2, 320000);
-            cpu.set_areg(3, 640000);
-            cpu.set_sreg_fp(1, 2.0);
-            black_box(cpu.run(&program).unwrap().cycles)
-        })
+    let mut g = Bench::group("simulator");
+    let r = g.bench("triad_elements", || {
+        let mut cpu = Cpu::new(SimConfig::c240());
+        cpu.set_areg(1, 0);
+        cpu.set_areg(2, 320000);
+        cpu.set_areg(3, 640000);
+        cpu.set_sreg_fp(1, 2.0);
+        black_box(cpu.run(&program).unwrap().cycles)
     });
-    g.finish();
+    let elems_per_sec = elements as f64 / (r.median_ns / 1e9);
+    println!(
+        "simulator/triad_elements: {:.1} Melem/s",
+        elems_per_sec / 1e6
+    );
 }
 
-fn bench_assembler(c: &mut Criterion) {
+fn bench_assembler() {
     let source = lfk_text();
-    c.bench_function("assembler/lfk1_listing", |b| {
-        b.iter(|| black_box(c240_isa::asm::assemble(&source).unwrap()))
+    let mut g = Bench::group("assembler");
+    g.bench("lfk1_listing", || {
+        black_box(c240_isa::asm::assemble(&source).unwrap())
     });
 }
 
@@ -56,32 +58,32 @@ fn lfk_text() -> String {
         .to_string()
 }
 
-fn bench_partitioner(c: &mut Criterion) {
+fn bench_partitioner() {
     let p = c240_isa::asm::assemble(&lfk_text()).unwrap();
     let l = p.innermost_loop().unwrap();
     let body = p.loop_body(l).to_vec();
-    c.bench_function("chime_partitioner/lfk1", |b| {
-        b.iter(|| black_box(partition_chimes(&body, &ChimeConfig::c240())))
+    let mut g = Bench::group("chime_partitioner");
+    g.bench("lfk1", || {
+        black_box(partition_chimes(&body, &ChimeConfig::c240()))
     });
 }
 
-fn bench_compiler(c: &mut Criterion) {
+fn bench_compiler() {
     let kernel = Kernel::new("triad")
         .array("x", 6000)
         .array("y", 6000)
         .array("z", 6000)
         .param("a", 3.0)
         .store("x", 0, load("y", 0) + param("a") * load("z", 0));
-    c.bench_function("compiler/triad", |b| {
-        b.iter(|| black_box(compile(&kernel, 5000, CompileOptions::default()).unwrap()))
+    let mut g = Bench::group("compiler");
+    g.bench("triad", || {
+        black_box(compile(&kernel, 5000, CompileOptions::default()).unwrap())
     });
 }
 
-criterion_group!(
-    benches,
-    bench_simulator_throughput,
-    bench_assembler,
-    bench_partitioner,
-    bench_compiler
-);
-criterion_main!(benches);
+fn main() {
+    bench_simulator_throughput();
+    bench_assembler();
+    bench_partitioner();
+    bench_compiler();
+}

@@ -2,53 +2,45 @@
 //! artifact, so `cargo bench` both re-derives every number and reports
 //! how long the reproduction machinery takes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use c240_sim::SimConfig;
+use macs_bench::timing::Bench;
 use macs_core::ChimeConfig;
 use macs_experiments::{figures, tables, worked_example, Suite};
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("paper");
 
-    g.bench_function("table1_calibration", |b| {
-        b.iter(|| black_box(tables::table1(&SimConfig::c240()).render()))
+    g.bench("table1_calibration", || {
+        black_box(tables::table1(&SimConfig::c240()).render())
     });
 
     // The five suite-based artifacts share one suite per iteration to
     // keep the cost proportional to one case-study run.
-    g.bench_function("suite_case_study", |b| {
-        b.iter(|| black_box(Suite::run()))
-    });
+    g.bench("suite_case_study", || black_box(Suite::run()));
 
     let suite = Suite::run();
-    g.bench_function("table2_workload", |b| {
-        b.iter(|| black_box(tables::table2(&suite).render()))
+    g.bench("table2_workload", || {
+        black_box(tables::table2(&suite).render())
     });
-    g.bench_function("table3_bounds", |b| {
-        b.iter(|| black_box(tables::table3(&suite).render()))
+    g.bench("table3_bounds", || {
+        black_box(tables::table3(&suite).render())
     });
-    g.bench_function("table4_comparison", |b| {
-        b.iter(|| black_box(tables::table4(&suite).render()))
+    g.bench("table4_comparison", || {
+        black_box(tables::table4(&suite).render())
     });
-    g.bench_function("table5_ax", |b| {
-        b.iter(|| black_box(tables::table5(&suite).render()))
+    g.bench("table5_ax", || black_box(tables::table5(&suite).render()));
+    g.bench("fig1_hierarchy", || black_box(figures::fig1(&suite)));
+    g.bench("fig2_chaining", || {
+        black_box(figures::fig2(&SimConfig::c240()))
     });
-    g.bench_function("fig1_hierarchy", |b| {
-        b.iter(|| black_box(figures::fig1(&suite)))
+    g.bench("fig3_contention", || {
+        black_box(figures::fig3(&suite).render())
     });
-    g.bench_function("fig2_chaining", |b| {
-        b.iter(|| black_box(figures::fig2(&SimConfig::c240())))
+    g.bench("lfk1_worked_example", || {
+        black_box(worked_example(&SimConfig::c240(), &ChimeConfig::c240()))
     });
-    g.bench_function("fig3_contention", |b| {
-        b.iter(|| black_box(figures::fig3(&suite).render()))
-    });
-    g.bench_function("lfk1_worked_example", |b| {
-        b.iter(|| black_box(worked_example(&SimConfig::c240(), &ChimeConfig::c240())))
-    });
-    g.finish();
 
     // Print the artifacts once so `cargo bench | tee` archives them.
     println!("{}", tables::table1(&SimConfig::c240()).render());
@@ -58,8 +50,8 @@ fn bench_tables(c: &mut Criterion) {
     println!("{}", tables::table5(&suite).render());
     println!("{}", figures::fig2(&SimConfig::c240()));
     println!("{}", figures::fig3(&suite).render());
-    println!("{}", worked_example(&SimConfig::c240(), &ChimeConfig::c240()));
+    println!(
+        "{}",
+        worked_example(&SimConfig::c240(), &ChimeConfig::c240())
+    );
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! `macs-bench` — the perf-trajectory harness.
+//!
+//! ```text
+//! macs-bench [OUT_DIR]        (default: results)
+//! ```
+//!
+//! Runs every LFK kernel once under the counting probe, times the LFK1
+//! simulation with and without the probe (the zero-overhead check for
+//! the monomorphized `Probe` plumbing), and writes
+//! `OUT_DIR/BENCH_<date>.json`: per-kernel cycles/CPL/CPF, the stall
+//! breakdown in CPL units, and the measured probe overhead. Committing
+//! one such file per working day gives a performance trajectory that is
+//! diffable across commits.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use c240_obs::json::Json;
+use c240_obs::{CounterProbe, StallCause};
+use c240_sim::{Cpu, SimConfig};
+use macs_bench::timing::Bench;
+
+/// Today's civil date (UTC) as `(year, month, day)`, computed from the
+/// Unix time directly — the environment has no date/time crates.
+/// Uses the days-to-civil algorithm of Howard Hinnant's `chrono`-
+/// compatible date notes (exact for the proleptic Gregorian calendar).
+fn civil_date_utc() -> (i64, u32, u32) {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let days = secs.div_euclid(86_400);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn main() -> ExitCode {
+    let out_dir = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| "results".into()));
+    let sim = SimConfig::c240();
+
+    eprintln!("running the ten-kernel suite under the counting probe...");
+    let mut kernels: Vec<Json> = Vec::new();
+    for kernel in lfk_suite::all() {
+        let mut cpu = Cpu::new(sim.clone());
+        kernel.setup(&mut cpu);
+        let mut probe = CounterProbe::new();
+        let stats = match cpu.run_probed(&kernel.program(), &mut probe) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("LFK{}: simulation failed: {e}", kernel.id());
+                return ExitCode::FAILURE;
+            }
+        };
+        let iters = kernel.iterations().max(1) as f64;
+        let cpl = stats.cpl(kernel.iterations());
+        let totals = probe.totals();
+        let mut stall_cpl = Json::obj();
+        for cause in StallCause::ALL {
+            stall_cpl = stall_cpl.field(cause.key(), totals.get(cause) / iters);
+        }
+        kernels.push(
+            Json::obj()
+                .field("id", kernel.id())
+                .field("name", kernel.name())
+                .field("cycles", stats.cycles)
+                .field("iterations", kernel.iterations())
+                .field("cpl", cpl)
+                .field("cpf", cpl / f64::from(kernel.flops_total().max(1)))
+                .field("memory_wait_cpl", stats.memory_wait_cycles / iters)
+                .field("stall_cpl", stall_cpl)
+                .field("stall_total_cpl", totals.total() / iters),
+        );
+    }
+
+    // The no-op probe must cost nothing: time the same LFK1 simulation
+    // through `run` (NoProbe) and `run_probed` (CounterProbe).
+    eprintln!("timing probe overhead on LFK1...");
+    let k1 = lfk_suite::by_id(1).expect("LFK1 is in the registry");
+    let program = k1.program();
+    let mut bench = Bench::group("probe-overhead");
+    let base = bench
+        .bench("lfk1_noprobe", || {
+            let mut cpu = Cpu::new(sim.clone());
+            k1.setup(&mut cpu);
+            cpu.run(&program).expect("LFK1 simulates cleanly").cycles
+        })
+        .clone();
+    let probed = bench
+        .bench("lfk1_counterprobe", || {
+            let mut cpu = Cpu::new(sim.clone());
+            k1.setup(&mut cpu);
+            let mut probe = CounterProbe::new();
+            cpu.run_probed(&program, &mut probe)
+                .expect("LFK1 simulates cleanly")
+                .cycles
+        })
+        .clone();
+    let relative = probed.median_ns / base.median_ns - 1.0;
+    eprintln!("probe overhead: {:+.1}%", 100.0 * relative);
+
+    let (y, m, d) = civil_date_utc();
+    let date = format!("{y:04}-{m:02}-{d:02}");
+    let doc = Json::obj()
+        .field("schema", "c240-bench/v1")
+        .field("date", date.as_str())
+        .field("kernels", Json::Arr(kernels))
+        .field(
+            "probe_overhead",
+            Json::obj()
+                .field("kernel", "LFK1")
+                .field("noprobe_median_ns", base.median_ns)
+                .field("counterprobe_median_ns", probed.median_ns)
+                .field("relative", relative),
+        );
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join(format!("BENCH_{date}.json"));
+    if let Err(e) = std::fs::write(&path, doc.pretty()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

@@ -1,6 +1,8 @@
-//! Criterion benchmark harness for the MACS reproduction.
+//! Benchmark harness for the MACS reproduction.
 //!
-//! The benches live in `benches/`:
+//! The benches live in `benches/` (all `harness = false`, driven by the
+//! in-tree [`timing`] module rather than an external framework, so they
+//! build with no network access):
 //!
 //! * `tables` — one benchmark group per paper table/figure, each
 //!   regenerating the artifact (the timed body is the full experiment);
@@ -9,10 +11,16 @@
 //!   ports, contention, vector length, stride, bank count, schedule);
 //! * `simulator` — raw simulator throughput.
 //!
-//! This library crate only hosts small shared helpers.
+//! The `macs-bench` binary runs the perf-trajectory harness and writes
+//! `BENCH_<date>.json` (per-kernel CPL, stall summaries, probe
+//! overhead); see `src/bin/macs_bench.rs`.
+//!
+//! This library crate hosts the shared workloads and the timing harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use c240_isa::{Program, ProgramBuilder};
 

@@ -1,0 +1,156 @@
+//! A small wall-clock timing harness.
+//!
+//! The build environment has no network access, so the benches cannot
+//! use an external framework; this module provides the subset we need:
+//! warm-up, automatic iteration-count calibration, a handful of timed
+//! samples, and a median-of-samples report. Results print one line per
+//! benchmark, e.g.
+//!
+//! ```text
+//! paper/table3_bounds            median   41.2 ms/iter  (7 samples x 4 iters)
+//! ```
+//!
+//! Medians over several samples keep one scheduler hiccup from skewing
+//! a result; the spread (min..max) is printed so noisy runs are visible.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+/// Timed samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Median over the timed samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Renders `ns` with an auto-selected unit.
+    fn human(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.2} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.2} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.2} us", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+}
+
+/// A named group of benchmarks, printed as it runs.
+pub struct Bench {
+    group: String,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Starts a benchmark group; `group` prefixes every name.
+    pub fn group(group: &str) -> Self {
+        Bench {
+            group: group.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` and records the result under `group/name`.
+    ///
+    /// The closure's return value is passed through [`std::hint::black_box`]
+    /// so the measured body cannot be optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        let full = if self.group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{name}", self.group)
+        };
+
+        // Warm up and calibrate: find how many iterations fill the
+        // sample target, growing geometrically from one.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+                break;
+            }
+            // Aim straight for the target, but at most 8x at a time.
+            let scale = if elapsed.is_zero() {
+                8
+            } else {
+                (SAMPLE_TARGET.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+            };
+            iters = iters.saturating_mul(scale);
+        }
+
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+
+        let result = BenchResult {
+            name: full,
+            median_ns: samples[samples.len() / 2],
+            min_ns: samples[0],
+            max_ns: samples[samples.len() - 1],
+            iters,
+        };
+        println!(
+            "{:<42} median {:>10}/iter  ({} samples x {} iters, {}..{})",
+            result.name,
+            BenchResult::human(result.median_ns),
+            SAMPLES,
+            result.iters,
+            BenchResult::human(result.min_ns),
+            BenchResult::human(result.max_ns),
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Consumes the group and returns its results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_times_a_trivial_closure() {
+        let mut g = Bench::group("test");
+        let r = g.bench("nop", || 1 + 1).clone();
+        assert_eq!(r.name, "test/nop");
+        assert!(r.median_ns >= 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.iters >= 1);
+        assert_eq!(g.finish().len(), 1);
+    }
+}

@@ -212,7 +212,8 @@ mod tests {
                 0,
                 u(0) + param("r") * (load("z", 0) + param("r") * load("y", 0))
                     + param("t")
-                        * (u(3) + param("r") * (u(2) + param("r") * u(1))
+                        * (u(3)
+                            + param("r") * (u(2) + param("r") * u(1))
                             + param("t") * (u(6) + param("r") * (u(5) + param("r") * u(4)))),
             );
         let ma = analyze_ma(&k);
@@ -225,23 +226,22 @@ mod tests {
     #[test]
     fn strided_streams_do_not_collapse() {
         // PX(25k+4) and PX(25k+5) are distinct streams.
-        let k = Kernel::new("lfk9ish")
-            .array("px", 4000)
-            .store(
-                "px",
-                0,
-                load_strided("px", 4, 25) + load_strided("px", 5, 25),
-            );
+        let k = Kernel::new("lfk9ish").array("px", 4000).store(
+            "px",
+            0,
+            load_strided("px", 4, 25) + load_strided("px", 5, 25),
+        );
         let ma = analyze_ma(&k);
         assert_eq!(ma.loads, 2);
     }
 
     #[test]
     fn duplicate_refs_count_once() {
-        let k = Kernel::new("dup")
-            .array("a", 10)
-            .array("o", 10)
-            .store("o", 0, load("a", 0) * load("a", 0));
+        let k = Kernel::new("dup").array("a", 10).array("o", 10).store(
+            "o",
+            0,
+            load("a", 0) * load("a", 0),
+        );
         assert_eq!(analyze_ma(&k).loads, 1);
     }
 
@@ -258,10 +258,11 @@ mod tests {
     #[test]
     fn negative_offsets_group_correctly() {
         // step 1: offsets -3 and 5 are the same stream.
-        let k = Kernel::new("n")
-            .array("a", 10)
-            .array("o", 10)
-            .store("o", 0, load("a", -3) + load("a", 5));
+        let k = Kernel::new("n").array("a", 10).array("o", 10).store(
+            "o",
+            0,
+            load("a", -3) + load("a", 5),
+        );
         assert_eq!(analyze_ma(&k).loads, 1);
     }
 }

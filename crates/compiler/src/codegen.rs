@@ -202,10 +202,9 @@ pub fn compile(
     cg.assign_arrays(&body)?;
     cg.assign_accumulators(&accumulators)?;
     cg.emit(&body, iterations)?;
-    let program = cg
-        .b
-        .build()
-        .expect("generated program is structurally valid");
+    let program =
+        cg.b.build()
+            .expect("generated program is structurally valid");
     let reduction_regs = accumulators
         .iter()
         .map(|a| (a.clone(), cg.sregs[&ScalarKey::Param(a.clone())]))
@@ -293,8 +292,8 @@ impl Codegen<'_> {
                 keys.push(k);
             }
         }
-        let needs_temp = !accs.is_empty()
-            && matches!(self.options.reduction, ReductionStyle::Elementwise);
+        let needs_temp =
+            !accs.is_empty() && matches!(self.options.reduction, ReductionStyle::Elementwise);
         let available = 7 - usize::from(needs_temp);
         if keys.len() > available {
             return Err(CompileError::ScalarRegisterPressure {
@@ -323,9 +322,7 @@ impl Codegen<'_> {
         for r in &refs {
             let step = r.resolved_step(self.kernel.loop_step());
             match self.array_step.get(&r.array) {
-                Some(&s) if s != step => {
-                    return Err(CompileError::MixedSteps(r.array.clone()))
-                }
+                Some(&s) if s != step => return Err(CompileError::MixedSteps(r.array.clone())),
                 Some(_) => {}
                 None => {
                     self.array_step.insert(r.array.clone(), step);
@@ -398,8 +395,7 @@ impl Codegen<'_> {
             self.b.mov_fp(value, &format!("s{reg}"));
         }
         self.b.mov_int(0, "a0");
-        let in_regs: Vec<(String, u8)> =
-            self.aregs.iter().map(|(n, &r)| (n.clone(), r)).collect();
+        let in_regs: Vec<(String, u8)> = self.aregs.iter().map(|(n, &r)| (n.clone(), r)).collect();
         for (name, reg) in in_regs {
             let base = self.layout.base_byte(&name).expect("declared array");
             self.b.mov_int(base, &format!("a{reg}"));
@@ -421,8 +417,7 @@ impl Codegen<'_> {
     }
 
     fn emit_strip_bookkeeping(&mut self) {
-        let in_regs: Vec<(String, u8)> =
-            self.aregs.iter().map(|(n, &r)| (n.clone(), r)).collect();
+        let in_regs: Vec<(String, u8)> = self.aregs.iter().map(|(n, &r)| (n.clone(), r)).collect();
         for (name, reg) in in_regs {
             let step = self.array_step[&name];
             let advance = 128 * step * c240_isa::WORD_BYTES as i64;
@@ -460,8 +455,12 @@ impl Codegen<'_> {
                 self.b.vsum(&format!("v{vacc}"), &format!("s{st}"));
                 // The lanes already carry the sign (subtract reductions
                 // accumulated negated values), so the merge is an add.
-                self.b
-                    .fp_op("add", &format!("s{sacc}"), &format!("s{st}"), &format!("s{sacc}"));
+                self.b.fp_op(
+                    "add",
+                    &format!("s{sacc}"),
+                    &format!("s{st}"),
+                    &format!("s{sacc}"),
+                );
             }
         }
     }
@@ -554,7 +553,8 @@ impl Codegen<'_> {
         if step == 1 {
             self.b.vload(&base, offset, &format!("v{reg}"));
         } else {
-            self.b.vload_strided(&base, offset, step, &format!("v{reg}"));
+            self.b
+                .vload_strided(&base, offset, step, &format!("v{reg}"));
         }
         self.load_cache.insert(key, reg);
         Ok(reg)
@@ -577,7 +577,8 @@ impl Codegen<'_> {
         if step == 1 {
             self.b.vload(&base, offset, &format!("v{reg}"));
         } else {
-            self.b.vload_strided(&base, offset, step, &format!("v{reg}"));
+            self.b
+                .vload_strided(&base, offset, step, &format!("v{reg}"));
         }
         Ok(Operand::Temp(reg))
     }
@@ -673,10 +674,7 @@ mod tests {
 
     fn count_class(p: &Program, class: InstrClass) -> usize {
         let l = p.innermost_loop().unwrap();
-        p.loop_body(l)
-            .iter()
-            .filter(|i| i.class() == class)
-            .count()
+        p.loop_body(l).iter().filter(|i| i.class() == class).count()
     }
 
     #[test]
@@ -715,10 +713,11 @@ mod tests {
 
     #[test]
     fn duplicate_loads_are_cached_within_a_statement() {
-        let k = Kernel::new("sq")
-            .array("a", 2000)
-            .array("o", 2000)
-            .store("o", 0, load("a", 0) * load("a", 0));
+        let k = Kernel::new("sq").array("a", 2000).array("o", 2000).store(
+            "o",
+            0,
+            load("a", 0) * load("a", 0),
+        );
         let c = compile(&k, 1000, CompileOptions::default()).unwrap();
         assert_eq!(count_class(&c.program, InstrClass::VectorMem), 2); // 1 ld + 1 st
     }
@@ -804,10 +803,11 @@ mod tests {
             Err(CompileError::UnknownArray(_) | CompileError::ScalarStore)
         ));
 
-        let bad_param = Kernel::new("e2")
-            .array("a", 100)
-            .array("o", 100)
-            .store("o", 0, param("zz") * load("a", 0));
+        let bad_param = Kernel::new("e2").array("a", 100).array("o", 100).store(
+            "o",
+            0,
+            param("zz") * load("a", 0),
+        );
         assert!(matches!(
             compile(&bad_param, 10, CompileOptions::default()),
             Err(CompileError::UnknownParam(p)) if p == "zz"
@@ -828,19 +828,21 @@ mod tests {
             Err(CompileError::ArrayOverrun { .. })
         ));
 
-        let negative = Kernel::new("e5")
-            .array("a", 100)
-            .array("o", 100)
-            .store("o", 0, load("a", -1));
+        let negative =
+            Kernel::new("e5")
+                .array("a", 100)
+                .array("o", 100)
+                .store("o", 0, load("a", -1));
         assert!(matches!(
             compile(&negative, 10, CompileOptions::default()),
             Err(CompileError::NegativeOffset(_))
         ));
 
-        let mixed = Kernel::new("e6")
-            .array("a", 5000)
-            .array("o", 100)
-            .store("o", 0, load("a", 0) + load_strided("a", 0, 3));
+        let mixed = Kernel::new("e6").array("a", 5000).array("o", 100).store(
+            "o",
+            0,
+            load("a", 0) + load_strided("a", 0, 3),
+        );
         assert!(matches!(
             compile(&mixed, 10, CompileOptions::default()),
             Err(CompileError::MixedSteps(_))
@@ -849,15 +851,16 @@ mod tests {
 
     #[test]
     fn strided_kernel_compiles_with_strided_access() {
-        let k = Kernel::new("s")
-            .array("px", 30000)
-            .array("o", 2000)
-            .store("o", 0, load_strided("px", 4, 25) + load_strided("px", 5, 25));
+        let k = Kernel::new("s").array("px", 30000).array("o", 2000).store(
+            "o",
+            0,
+            load_strided("px", 4, 25) + load_strided("px", 5, 25),
+        );
         let c = compile(&k, 1000, CompileOptions::default()).unwrap();
         let l = c.program.innermost_loop().unwrap();
-        let strided = c.program.loop_body(l).iter().any(|i| {
-            matches!(i, c240_isa::Instruction::VLoad { addr, .. } if addr.stride.words() == 25)
-        });
+        let strided = c.program.loop_body(l).iter().any(
+            |i| matches!(i, c240_isa::Instruction::VLoad { addr, .. } if addr.stride.words() == 25),
+        );
         assert!(strided);
     }
 }

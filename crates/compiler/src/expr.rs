@@ -270,8 +270,8 @@ mod tests {
 
     #[test]
     fn lfk1_flop_counts() {
-        let rhs = param("q")
-            + load("y", 0) * (param("r") * load("zx", 10) + param("t") * load("zx", 11));
+        let rhs =
+            param("q") + load("y", 0) * (param("r") * load("zx", 10) + param("t") * load("zx", 11));
         assert_eq!(rhs.flops(), (2, 3));
         let mut loads = Vec::new();
         rhs.collect_loads(&mut loads);

@@ -277,9 +277,7 @@ impl Kernel {
                     );
                     arr[idx as usize]
                 };
-                let value = stmt
-                    .value()
-                    .eval(&mut lookup, &|p| pcopy[p]);
+                let value = stmt.value().eval(&mut lookup, &|p| pcopy[p]);
                 match stmt {
                     Stmt::Store { target, .. } => {
                         let step = target.resolved_step(self.step);
@@ -408,10 +406,11 @@ mod tests {
     fn interpret_respects_step_and_sees_own_stores() {
         // x(k) = x(k-2) + 1 with step 2: a genuine recurrence through
         // memory the interpreter must honor sequentially.
-        let k = Kernel::new("rec")
-            .array("x", 40)
-            .step(2)
-            .store("x", 2, load("x", 0) + crate::expr::con(1.0));
+        let k = Kernel::new("rec").array("x", 40).step(2).store(
+            "x",
+            2,
+            load("x", 0) + crate::expr::con(1.0),
+        );
         let mut data = BTreeMap::new();
         data.insert("x".to_string(), vec![0.0; 40]);
         k.interpret(&mut data, 10);

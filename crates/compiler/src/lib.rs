@@ -48,9 +48,7 @@ mod kernel;
 mod layout;
 
 pub use analysis::{analyze_ma, MaWorkload};
-pub use codegen::{
-    compile, CompileOptions, CompiledKernel, ReductionStyle, ScheduleStrategy,
-};
+pub use codegen::{compile, CompileOptions, CompiledKernel, ReductionStyle, ScheduleStrategy};
 pub use error::CompileError;
 pub use expr::{con, load, load_strided, param, BinOp, Expr, StreamRef};
 pub use kernel::{ArrayDecl, Kernel, Stmt};

@@ -220,7 +220,12 @@ mod tests {
             match id {
                 // An LFK1-style loop: one reloaded stream.
                 1 => (
-                    MaWorkload { f_a: 1, f_m: 0, loads: 1, stores: 1 },
+                    MaWorkload {
+                        f_a: 1,
+                        f_m: 0,
+                        loads: 1,
+                        stores: 1,
+                    },
                     assemble(
                         "   mov #2560,s0
                         L:
@@ -244,7 +249,12 @@ mod tests {
                 // the loop fences the chime that would otherwise chain
                 // the load with its consumers.
                 8 => (
-                    MaWorkload { f_a: 1, f_m: 1, loads: 1, stores: 0 },
+                    MaWorkload {
+                        f_a: 1,
+                        f_m: 1,
+                        loads: 1,
+                        stores: 0,
+                    },
                     assemble(
                         "   mov #2560,s0
                         L:
@@ -334,7 +344,12 @@ mod tests {
             .unwrap();
             analyze_kernel(
                 "clean",
-                macs_compiler::MaWorkload { f_a: 1, f_m: 1, loads: 1, stores: 1 },
+                macs_compiler::MaWorkload {
+                    f_a: 1,
+                    f_m: 1,
+                    loads: 1,
+                    stores: 1,
+                },
                 &p,
                 2560,
                 &|cpu| cpu.set_areg(2, 400000),

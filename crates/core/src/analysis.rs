@@ -4,14 +4,14 @@
 use std::fmt;
 
 use c240_isa::Program;
-use c240_sim::{Cpu, SimConfig, SimError};
+use c240_sim::{CounterProbe, Cpu, SimConfig, SimError};
 use macs_compiler::MaWorkload;
 
 use crate::ax::{a_process, prime_registers, x_process};
 use crate::bounds::KernelBounds;
 use crate::chime::ChimeConfig;
 use crate::diagnose::{diagnose, Finding};
-use crate::measure::{measure, Measurement};
+use crate::measure::{measure, measure_probed, Measurement};
 
 /// Everything the MACS methodology produces for one kernel: the three
 /// calculated bounds, the A/X measurements, and the measured run time.
@@ -28,6 +28,10 @@ pub struct KernelAnalysis {
     /// Whether the compiled loop contains vector reduction instructions
     /// (drives the reduction-bottleneck diagnosis of §4.4).
     pub has_reduction: bool,
+    /// Cycle attribution of the full-code run: per-lane busy/stall/idle
+    /// accounts and per-pc stall counters (the measured counterpart of
+    /// the analytic gap commentary).
+    pub telemetry: CounterProbe,
 }
 
 impl KernelAnalysis {
@@ -155,7 +159,7 @@ pub fn analyze_kernel(
 
     let mut cpu = Cpu::new(sim_config.clone());
     setup(&mut cpu);
-    let measured = measure(&mut cpu, program, iterations, flops)?;
+    let (measured, telemetry) = measure_probed(&mut cpu, program, iterations, flops)?;
 
     let mut cpu_a = Cpu::new(sim_config.clone());
     setup(&mut cpu_a);
@@ -166,12 +170,10 @@ pub fn analyze_kernel(
     prime_registers(&mut cpu_x);
     let x = measure(&mut cpu_x, &x_process(program), iterations, flops)?;
 
-    let has_reduction = program.instructions().iter().any(|i| {
-        matches!(
-            i.timing_class(),
-            Some(c240_isa::TimingClass::Reduction)
-        )
-    });
+    let has_reduction = program
+        .instructions()
+        .iter()
+        .any(|i| matches!(i.timing_class(), Some(c240_isa::TimingClass::Reduction)));
 
     Ok(KernelAnalysis {
         bounds,
@@ -179,6 +181,7 @@ pub fn analyze_kernel(
         a_process: a,
         x_process: x,
         has_reduction,
+        telemetry,
     })
 }
 

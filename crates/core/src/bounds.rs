@@ -144,8 +144,7 @@ impl KernelBounds {
     /// floating point tolerance).
     pub fn is_monotone(&self) -> bool {
         let eps = 1e-9;
-        self.t_ma_cpl() <= self.t_mac_cpl() + eps
-            && self.t_mac_cpl() <= self.t_macs_cpl() + eps
+        self.t_ma_cpl() <= self.t_mac_cpl() + eps && self.t_mac_cpl() <= self.t_macs_cpl() + eps
     }
 }
 

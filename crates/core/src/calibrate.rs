@@ -143,10 +143,7 @@ fn fit_line(points: &[(f64, f64)]) -> (f64, f64) {
 /// # Errors
 ///
 /// Propagates simulator errors (which indicate a harness bug).
-pub fn calibrate_class(
-    class: TimingClass,
-    config: &SimConfig,
-) -> Result<CalibrationRow, SimError> {
+pub fn calibrate_class(class: TimingClass, config: &SimConfig) -> Result<CalibrationRow, SimError> {
     // Refresh would perturb the fits (the paper's calibration loops were
     // also chosen to avoid it); keep the machine otherwise identical.
     let quiet = config.clone().without_refresh();

@@ -416,10 +416,7 @@ pub fn body_without_memory(body: &[Instruction]) -> Vec<Instruction> {
 /// The loop body with all vector floating point instructions deleted —
 /// the input for `t^m_MACS` (§3.4).
 pub fn body_without_fp(body: &[Instruction]) -> Vec<Instruction> {
-    body.iter()
-        .filter(|i| !i.is_vector_fp())
-        .cloned()
-        .collect()
+    body.iter().filter(|i| !i.is_vector_fp()).cloned().collect()
 }
 
 #[cfg(test)]
@@ -674,7 +671,10 @@ mod tests {
     #[test]
     fn without_bubbles_drops_b() {
         let (_, body) = body_of(LFK1);
-        let part = partition_chimes(&body, &ChimeConfig::c240().without_bubbles().without_refresh());
+        let part = partition_chimes(
+            &body,
+            &ChimeConfig::c240().without_bubbles().without_refresh(),
+        );
         assert_eq!(part.raw_cycles(), 512.0); // 4 × 128
     }
 

@@ -37,6 +37,10 @@ pub enum Finding {
     ScalarSplitsChimes {
         /// Number of forced chime boundaries per iteration.
         splits: u32,
+        /// Measured memory-port serialization per iteration: cycles the
+        /// probed run attributed to [`c240_sim::StallCause::MemPortConflict`],
+        /// in CPL.
+        mem_port_stall_cpl: f64,
     },
     /// The A- and X-processes overlap poorly:
     /// `t_p` is much greater than `max(t_a, t_x)` (LFK 2, 4, 6, 8).
@@ -45,11 +49,26 @@ pub enum Finding {
         overlap: f64,
     },
     /// Memory accesses dominate: `t_a ≫ t_x` and `t_p ≈ t_a`.
-    MemoryBottleneck,
+    MemoryBottleneck {
+        /// Measured memory wait per iteration (bank + refresh +
+        /// contention), in CPL.
+        wait_cpl: f64,
+        /// The bank-busy share of `wait_cpl`.
+        bank_busy_cpl: f64,
+        /// The refresh share of `wait_cpl`.
+        refresh_cpl: f64,
+        /// The contention share of `wait_cpl`.
+        contention_cpl: f64,
+    },
     /// Vector reductions interact badly with memory accesses:
     /// execute-only time dominates and the loop carries a reduction
     /// (LFK 4, 6).
-    ReductionBottleneck,
+    ReductionBottleneck {
+        /// Measured post-reduction pipe serialization per iteration:
+        /// cycles attributed to
+        /// [`c240_sim::StallCause::ReductionDrain`], in CPL.
+        drain_cpl: f64,
+    },
     /// Much of the measured time is unmodeled (outer-loop overhead,
     /// short vectors, scalar code): `t_MACS` explains little of `t_p`
     /// (LFK 2, 4, 6).
@@ -77,20 +96,33 @@ impl fmt::Display for Finding {
                 "adds and multiplies overlap imperfectly into chimes (t^f exceeds t'_f by \
                  {gap_cpl:.2} CPL)"
             ),
-            Finding::ScalarSplitsChimes { splits } => write!(
+            Finding::ScalarSplitsChimes {
+                splits,
+                mem_port_stall_cpl,
+            } => write!(
                 f,
-                "{splits} scalar memory access(es) per iteration split potential chimes"
+                "{splits} scalar memory access(es) per iteration split potential chimes \
+                 (measured {mem_port_stall_cpl:.2} CPL of memory-port serialization)"
             ),
             Finding::PoorAxOverlap { overlap } => write!(
                 f,
                 "access and execute processes overlap poorly (overlap quality {overlap:.2})"
             ),
-            Finding::MemoryBottleneck => {
-                write!(f, "performance is bottlenecked in the access (memory) process")
-            }
-            Finding::ReductionBottleneck => write!(
+            Finding::MemoryBottleneck {
+                wait_cpl,
+                bank_busy_cpl,
+                refresh_cpl,
+                contention_cpl,
+            } => write!(
                 f,
-                "vector reduction interacts with memory accesses as the chief bottleneck"
+                "performance is bottlenecked in the access (memory) process \
+                 (measured {wait_cpl:.2} CPL of memory wait: {bank_busy_cpl:.2} bank busy, \
+                 {refresh_cpl:.2} refresh, {contention_cpl:.2} contention)"
+            ),
+            Finding::ReductionBottleneck { drain_cpl } => write!(
+                f,
+                "vector reduction interacts with memory accesses as the chief bottleneck \
+                 (measured {drain_cpl:.2} CPL of post-reduction pipe drain)"
             ),
             Finding::UnmodeledEffects { explained } => write!(
                 f,
@@ -103,9 +135,17 @@ impl fmt::Display for Finding {
 }
 
 /// Applies the §4.4 decision rules to an analysis.
+///
+/// Where the probed run measured a matching stall category, the finding
+/// carries the measured cycles (per iteration, in CPL) so the diagnosis
+/// is backed by counters rather than bound arithmetic alone.
 pub fn diagnose(a: &KernelAnalysis) -> Vec<Finding> {
+    use c240_sim::StallCause;
+
     let mut findings = Vec::new();
     let explained = a.pct_macs();
+    let iters = a.measured.iterations.max(1) as f64;
+    let stall_totals = a.telemetry.totals();
 
     if explained >= 0.88 {
         findings.push(Finding::NearBound { explained });
@@ -127,7 +167,10 @@ pub fn diagnose(a: &KernelAnalysis) -> Vec<Finding> {
 
     let splits = a.bounds.macs.full.scalar_splits();
     if splits > 0 {
-        findings.push(Finding::ScalarSplitsChimes { splits });
+        findings.push(Finding::ScalarSplitsChimes {
+            splits,
+            mem_port_stall_cpl: stall_totals.get(StallCause::MemPortConflict) / iters,
+        });
     }
 
     let overlap = a.ax_overlap();
@@ -136,11 +179,19 @@ pub fn diagnose(a: &KernelAnalysis) -> Vec<Finding> {
     }
 
     if a.t_a_cpl() > 1.25 * a.t_x_cpl() && a.pct_macs() >= 0.75 {
-        findings.push(Finding::MemoryBottleneck);
+        let waits = a.measured.stats.memory_waits;
+        findings.push(Finding::MemoryBottleneck {
+            wait_cpl: waits.total() / iters,
+            bank_busy_cpl: waits.bank_busy / iters,
+            refresh_cpl: waits.refresh / iters,
+            contention_cpl: waits.contention / iters,
+        });
     }
 
     if a.has_reduction && a.t_x_cpl() > 1.1 * a.t_a_cpl() {
-        findings.push(Finding::ReductionBottleneck);
+        findings.push(Finding::ReductionBottleneck {
+            drain_cpl: stall_totals.get(StallCause::ReductionDrain) / iters,
+        });
     }
 
     findings
@@ -201,8 +252,25 @@ mod tests {
                 .any(|f| matches!(f, Finding::NearBound { .. })),
             "{findings:?}"
         );
-        // Memory-bound loop: t_a >> t_x.
-        assert!(findings.iter().any(|f| matches!(f, Finding::MemoryBottleneck)));
+        // Memory-bound loop: t_a >> t_x, and the finding cites the
+        // measured wait breakdown.
+        let mem = findings
+            .iter()
+            .find(|f| matches!(f, Finding::MemoryBottleneck { .. }))
+            .expect("memory bottleneck diagnosed");
+        if let Finding::MemoryBottleneck {
+            wait_cpl,
+            bank_busy_cpl,
+            refresh_cpl,
+            contention_cpl,
+        } = mem
+        {
+            assert!(
+                (wait_cpl - (bank_busy_cpl + refresh_cpl + contention_cpl)).abs() < 1e-9,
+                "breakdown must sum to the total wait"
+            );
+            assert!(*refresh_cpl > 0.0, "refresh runs on the full machine");
+        }
     }
 
     #[test]
@@ -263,10 +331,20 @@ mod tests {
             },
             2560,
         );
-        assert!(a
-            .findings()
+        let findings = a.findings();
+        let split = findings
             .iter()
-            .any(|f| matches!(f, Finding::ScalarSplitsChimes { .. })));
+            .find(|f| matches!(f, Finding::ScalarSplitsChimes { .. }))
+            .expect("scalar split diagnosed");
+        if let Finding::ScalarSplitsChimes {
+            mem_port_stall_cpl, ..
+        } = split
+        {
+            assert!(
+                *mem_port_stall_cpl > 0.0,
+                "scalar split must show measured memory-port serialization"
+            );
+        }
     }
 
     #[test]
@@ -293,14 +371,16 @@ mod tests {
         );
         assert!(a.has_reduction);
         let findings = a.findings();
-        assert!(
-            findings
-                .iter()
-                .any(|f| matches!(f, Finding::ReductionBottleneck)),
-            "{findings:?} t_x={} t_a={}",
-            a.t_x_cpl(),
-            a.t_a_cpl()
-        );
+        let red = findings
+            .iter()
+            .find(|f| matches!(f, Finding::ReductionBottleneck { .. }))
+            .unwrap_or_else(|| panic!("{findings:?} t_x={} t_a={}", a.t_x_cpl(), a.t_a_cpl()));
+        if let Finding::ReductionBottleneck { drain_cpl } = red {
+            assert!(
+                *drain_cpl > 0.0,
+                "reduction loop must show measured pipe drain"
+            );
+        }
     }
 
     #[test]
@@ -309,10 +389,18 @@ mod tests {
             Finding::NearBound { explained: 0.95 },
             Finding::CompilerInsertedMemOps { extra_cpl: 1.0 },
             Finding::ImperfectFpOverlap { gap_cpl: 1.1 },
-            Finding::ScalarSplitsChimes { splits: 8 },
+            Finding::ScalarSplitsChimes {
+                splits: 8,
+                mem_port_stall_cpl: 12.5,
+            },
             Finding::PoorAxOverlap { overlap: 0.3 },
-            Finding::MemoryBottleneck,
-            Finding::ReductionBottleneck,
+            Finding::MemoryBottleneck {
+                wait_cpl: 2.0,
+                bank_busy_cpl: 1.0,
+                refresh_cpl: 0.5,
+                contention_cpl: 0.5,
+            },
+            Finding::ReductionBottleneck { drain_cpl: 40.0 },
             Finding::UnmodeledEffects { explained: 0.4 },
         ] {
             assert!(!f.to_string().is_empty());

@@ -66,6 +66,7 @@ mod measure;
 pub mod overhead;
 mod report;
 mod reschedule;
+mod runreport;
 mod workload;
 
 pub use advisor::{advise, Action, Advice};
@@ -78,8 +79,9 @@ pub use chime::{
     ChimePartition,
 };
 pub use diagnose::{diagnose, Finding};
-pub use measure::{measure, Measurement};
+pub use measure::{measure, measure_probed, Measurement};
 pub use overhead::{analyze_overhead, segmented_macs_cpl, OverheadModel};
 pub use report::{hierarchy_figure, TextTable};
 pub use reschedule::reschedule_for_chimes;
+pub use runreport::{RunReport, RUN_REPORT_SCHEMA};
 pub use workload::MacWorkload;

@@ -4,7 +4,7 @@
 use std::fmt;
 
 use c240_isa::{Program, CLOCK_MHZ};
-use c240_sim::{Cpu, RunStats, SimError};
+use c240_sim::{CounterProbe, Cpu, RunStats, SimError};
 
 /// One measured run in the paper's units.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +70,30 @@ pub fn measure(
         iterations,
         flops_per_iteration,
     })
+}
+
+/// Like [`measure`], but also collects the per-lane cycle attribution of
+/// the run (see [`Cpu::run_probed`]).
+///
+/// # Errors
+///
+/// Propagates simulator errors (runaway loop, bad address).
+pub fn measure_probed(
+    cpu: &mut Cpu,
+    program: &Program,
+    iterations: u64,
+    flops_per_iteration: u32,
+) -> Result<(Measurement, CounterProbe), SimError> {
+    let mut probe = CounterProbe::new();
+    let stats = cpu.run_probed(program, &mut probe)?;
+    Ok((
+        Measurement {
+            stats,
+            iterations,
+            flops_per_iteration,
+        },
+        probe,
+    ))
 }
 
 #[cfg(test)]

@@ -100,7 +100,11 @@ impl TextTable {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -118,7 +122,10 @@ impl TextTable {
 pub fn hierarchy_figure(a: &KernelAnalysis) -> String {
     let mut out = String::new();
     let name = &a.bounds.name;
-    let _ = writeln!(out, "Hierarchy of performance models and measurements — {name}");
+    let _ = writeln!(
+        out,
+        "Hierarchy of performance models and measurements — {name}"
+    );
     let _ = writeln!(out, "(all values in CPL; Figure 1 of the paper)");
     let _ = writeln!(out);
     let _ = writeln!(

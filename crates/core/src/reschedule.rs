@@ -169,8 +169,7 @@ fn schedule_run(run: &[Instruction], config: &ChimeConfig) -> Vec<Instruction> {
                 }
                 if config.pair_constraint {
                     let (r, w) = ins.pair_usage();
-                    let fits = (0..4)
-                        .all(|p| reads[p] + r[p] <= 2 && writes[p] + w[p] <= 1);
+                    let fits = (0..4).all(|p| reads[p] + r[p] <= 2 && writes[p] + w[p] <= 1);
                     if !fits {
                         continue;
                     }
@@ -271,7 +270,9 @@ mod tests {
             cpu.set_areg(3, 90000 * 8);
             cpu.set_sreg_fp(1, 1.5);
             cpu.run(p).unwrap();
-            (0..1280u64).map(|i| cpu.mem().peek(90000 + i)).collect::<Vec<_>>()
+            (0..1280u64)
+                .map(|i| cpu.mem().peek(90000 + i))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(&program), run(&program2));
     }
@@ -306,8 +307,10 @@ mod tests {
             halt",
         );
         let resched = reschedule_for_chimes(&body, &ChimeConfig::c240());
-        assert!(matches!(resched.iter().find(|i| i.is_vector_memory()).unwrap(),
-            Instruction::VStore { .. }));
+        assert!(matches!(
+            resched.iter().find(|i| i.is_vector_memory()).unwrap(),
+            Instruction::VStore { .. }
+        ));
     }
 
     #[test]
@@ -323,7 +326,10 @@ mod tests {
         let resched = reschedule_for_chimes(&body, &ChimeConfig::c240());
         // The reduction stays between the two loads (fences both runs);
         // a cost-neutral result returns the original order.
-        let kinds: Vec<bool> = resched.iter().map(|i| matches!(i, Instruction::VRAdd { .. })).collect();
+        let kinds: Vec<bool> = resched
+            .iter()
+            .map(|i| matches!(i, Instruction::VRAdd { .. }))
+            .collect();
         assert_eq!(kinds.iter().filter(|&&k| k).count(), 1);
         assert!(kinds[1], "reduction moved: {resched:?}");
     }

@@ -1,28 +1,37 @@
 //! `macs-report` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! macs-report [ARTIFACT...] [--csv DIR]
+//! macs-report [ARTIFACT...] [--csv DIR] [--json PATH] [--trace-out DIR]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 fig1 fig2 fig3 lfk1 all
 //!           (default: all)
-//! --csv DIR: additionally write each table as CSV into DIR
+//! --csv DIR:       additionally write each table as CSV into DIR
+//! --json PATH:     write the full suite as structured run reports
+//!                  (one RunReport per kernel, schema-stable JSON)
+//! --trace-out DIR: write a per-kernel pipeline trace (event log +
+//!                  ASCII Gantt) and stall-account CSV into DIR
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use c240_sim::SimConfig;
-use macs_core::ChimeConfig;
+use c240_obs::json::Json;
+use c240_sim::{Cpu, SimConfig};
+use macs_core::{ChimeConfig, RunReport, RUN_REPORT_SCHEMA};
 use macs_experiments::{figures, tables, worked_example, Suite};
 
 struct Args {
     artifacts: Vec<String>,
     csv_dir: Option<PathBuf>,
+    json_path: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut artifacts = Vec::new();
     let mut csv_dir = None;
+    let mut json_path = None;
+    let mut trace_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -30,9 +39,18 @@ fn parse_args() -> Result<Args, String> {
                 let dir = it.next().ok_or("--csv requires a directory")?;
                 csv_dir = Some(PathBuf::from(dir));
             }
+            "--json" => {
+                let path = it.next().ok_or("--json requires a file path")?;
+                json_path = Some(PathBuf::from(path));
+            }
+            "--trace-out" => {
+                let dir = it.next().ok_or("--trace-out requires a directory")?;
+                trace_dir = Some(PathBuf::from(dir));
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|all]... [--csv DIR]"
+                    "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|all]... \
+                     [--csv DIR] [--json PATH] [--trace-out DIR]"
                         .to_string(),
                 )
             }
@@ -44,7 +62,66 @@ fn parse_args() -> Result<Args, String> {
     if artifacts.is_empty() {
         artifacts.push("all".to_string());
     }
-    Ok(Args { artifacts, csv_dir })
+    Ok(Args {
+        artifacts,
+        csv_dir,
+        json_path,
+        trace_dir,
+    })
+}
+
+/// The whole suite as one JSON document: a versioned envelope around one
+/// [`RunReport`] per kernel, in paper order.
+fn suite_json(suite: &Suite) -> Json {
+    let reports: Vec<Json> = suite
+        .rows
+        .iter()
+        .map(|r| RunReport::new(r.id, r.analysis.clone()).to_json())
+        .collect();
+    Json::obj()
+        .field("schema", "c240-suite-report/v1")
+        .field("report_schema", RUN_REPORT_SCHEMA)
+        .field("avg_measured_cpf", suite.avg_measured_cpf())
+        .field("kernels", Json::Arr(reports))
+}
+
+/// Runs each kernel once with tracing enabled and writes its event log
+/// plus ASCII Gantt chart, and its per-lane stall accounts as CSV.
+fn write_traces(dir: &PathBuf, suite: &Suite) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let traced = suite.sim.clone().with_trace();
+    for row in &suite.rows {
+        let kernel = lfk_suite::by_id(row.id).expect("suite rows come from the registry");
+        let mut cpu = Cpu::new(traced.clone());
+        kernel.setup(&mut cpu);
+        if let Err(e) = cpu.run(&kernel.program()) {
+            eprintln!("LFK{}: trace run failed: {e}", row.id);
+            continue;
+        }
+        let trace = cpu.trace();
+        let mut text = format!(
+            "LFK{} — {} ({} events, {} dropped past cap)\n\n",
+            row.id,
+            kernel.name(),
+            trace.events().len(),
+            trace.dropped()
+        );
+        for event in trace.events().iter().take(64) {
+            text.push_str(&event.to_string());
+            text.push('\n');
+        }
+        text.push('\n');
+        text.push_str(&trace.gantt(24, 4.0));
+        let path = dir.join(format!("lfk{:02}_trace.txt", row.id));
+        std::fs::write(&path, text)?;
+        eprintln!("wrote {}", path.display());
+
+        let csv = RunReport::new(row.id, row.analysis.clone()).to_csv();
+        let path = dir.join(format!("lfk{:02}_stalls.csv", row.id));
+        std::fs::write(&path, csv)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -63,7 +140,9 @@ fn main() -> ExitCode {
     let chime = ChimeConfig::c240();
     let needs_suite = ["table2", "table3", "table4", "table5", "fig1", "fig3"]
         .iter()
-        .any(|a| want(a));
+        .any(|a| want(a))
+        || args.json_path.is_some()
+        || args.trace_dir.is_some();
     let suite = if needs_suite {
         eprintln!("running the ten-kernel case study (bounds + 3 measurements each)...");
         Some(Suite::run())
@@ -117,6 +196,28 @@ fn main() -> ExitCode {
                 kernel.fortran().replace('\n', "\n; "),
                 kernel.program()
             );
+        }
+    }
+
+    if let Some(suite) = &suite {
+        if let Some(path) = &args.json_path {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Err(e) = std::fs::write(path, suite_json(suite).pretty()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        if let Some(dir) = &args.trace_dir {
+            if let Err(e) = write_traces(dir, suite) {
+                eprintln!("cannot write traces into {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
 

@@ -69,7 +69,9 @@ pub fn fig2(sim: &SimConfig) -> String {
 pub fn fig3(suite: &Suite) -> TextTable {
     let mut t = TextTable::new(
         "Figure 3: Performance of LFK kernels (CPF; single vs loaded machine)",
-        &["LFK", "t_MA", "t_MAC", "t_MACS", "single", "multi", "slowdown"],
+        &[
+            "LFK", "t_MA", "t_MAC", "t_MACS", "single", "multi", "slowdown",
+        ],
     );
     let busy_sim = SimConfig {
         mem: suite
@@ -136,12 +138,7 @@ mod tests {
             .find(|l| l.contains("first chime"))
             .unwrap()
             .to_string();
-        let cycles: f64 = line
-            .split_whitespace()
-            .nth(5)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let cycles: f64 = line.split_whitespace().nth(5).unwrap().parse().unwrap();
         assert!((160.0..=165.0).contains(&cycles), "{line}");
         // Steady chime ≈ 132.
         let line2 = text
@@ -149,12 +146,7 @@ mod tests {
             .find(|l| l.contains("second chime"))
             .unwrap()
             .to_string();
-        let delta: f64 = line2
-            .split_whitespace()
-            .nth(3)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let delta: f64 = line2.split_whitespace().nth(3).unwrap().parse().unwrap();
         assert!((130.0..=134.0).contains(&delta), "{line2}");
     }
 }

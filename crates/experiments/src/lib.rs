@@ -57,11 +57,7 @@ pub struct Suite {
 ///
 /// Panics if the simulator rejects the curated kernel (a bug in this
 /// crate, not in user input).
-pub fn analyze_lfk(
-    kernel: &dyn LfkKernel,
-    sim: &SimConfig,
-    chime: &ChimeConfig,
-) -> KernelAnalysis {
+pub fn analyze_lfk(kernel: &dyn LfkKernel, sim: &SimConfig, chime: &ChimeConfig) -> KernelAnalysis {
     let program = kernel.program();
     analyze_kernel(
         &format!("LFK{}", kernel.id()),

@@ -22,16 +22,76 @@ pub struct PaperTable4Row {
 
 /// The paper's Table 4.
 pub const TABLE4: [PaperTable4Row; 10] = [
-    PaperTable4Row { id: 1, t_ma: 0.600, t_mac: 0.800, t_macs: 0.840, t_p: 0.852 },
-    PaperTable4Row { id: 2, t_ma: 1.250, t_mac: 1.500, t_macs: 1.566, t_p: 3.773 },
-    PaperTable4Row { id: 3, t_ma: 1.000, t_mac: 1.000, t_macs: 1.044, t_p: 1.128 },
-    PaperTable4Row { id: 4, t_ma: 1.000, t_mac: 1.000, t_macs: 1.226, t_p: 1.863 },
-    PaperTable4Row { id: 6, t_ma: 1.000, t_mac: 1.000, t_macs: 1.226, t_p: 2.632 },
-    PaperTable4Row { id: 7, t_ma: 0.500, t_mac: 0.625, t_macs: 0.656, t_p: 0.681 },
-    PaperTable4Row { id: 8, t_ma: 0.583, t_mac: 0.583, t_macs: 0.824, t_p: 0.858 },
-    PaperTable4Row { id: 9, t_ma: 0.647, t_mac: 0.647, t_macs: 0.679, t_p: 0.749 },
-    PaperTable4Row { id: 10, t_ma: 2.222, t_mac: 2.222, t_macs: 2.328, t_p: 2.442 },
-    PaperTable4Row { id: 12, t_ma: 2.000, t_mac: 3.000, t_macs: 3.132, t_p: 3.182 },
+    PaperTable4Row {
+        id: 1,
+        t_ma: 0.600,
+        t_mac: 0.800,
+        t_macs: 0.840,
+        t_p: 0.852,
+    },
+    PaperTable4Row {
+        id: 2,
+        t_ma: 1.250,
+        t_mac: 1.500,
+        t_macs: 1.566,
+        t_p: 3.773,
+    },
+    PaperTable4Row {
+        id: 3,
+        t_ma: 1.000,
+        t_mac: 1.000,
+        t_macs: 1.044,
+        t_p: 1.128,
+    },
+    PaperTable4Row {
+        id: 4,
+        t_ma: 1.000,
+        t_mac: 1.000,
+        t_macs: 1.226,
+        t_p: 1.863,
+    },
+    PaperTable4Row {
+        id: 6,
+        t_ma: 1.000,
+        t_mac: 1.000,
+        t_macs: 1.226,
+        t_p: 2.632,
+    },
+    PaperTable4Row {
+        id: 7,
+        t_ma: 0.500,
+        t_mac: 0.625,
+        t_macs: 0.656,
+        t_p: 0.681,
+    },
+    PaperTable4Row {
+        id: 8,
+        t_ma: 0.583,
+        t_mac: 0.583,
+        t_macs: 0.824,
+        t_p: 0.858,
+    },
+    PaperTable4Row {
+        id: 9,
+        t_ma: 0.647,
+        t_mac: 0.647,
+        t_macs: 0.679,
+        t_p: 0.749,
+    },
+    PaperTable4Row {
+        id: 10,
+        t_ma: 2.222,
+        t_mac: 2.222,
+        t_macs: 2.328,
+        t_p: 2.442,
+    },
+    PaperTable4Row {
+        id: 12,
+        t_ma: 2.000,
+        t_mac: 3.000,
+        t_macs: 3.132,
+        t_p: 3.182,
+    },
 ];
 
 /// Paper Table 4 footer: average CPF of the four columns.

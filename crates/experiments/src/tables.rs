@@ -58,7 +58,16 @@ pub fn table2(suite: &Suite) -> TextTable {
     let mut t = TextTable::new(
         "Table 2: LFK Work Load (MA counts; MAC shown where it differs)",
         &[
-            "LFK", "f_a", "f_m", "l", "s", "f'_a", "f'_m", "l'", "s'", "scalar mem",
+            "LFK",
+            "f_a",
+            "f_m",
+            "l",
+            "s",
+            "f'_a",
+            "f'_m",
+            "l'",
+            "s'",
+            "scalar mem",
         ],
     );
     for r in &suite.rows {
@@ -92,8 +101,7 @@ pub fn table3(suite: &Suite) -> TextTable {
     let mut t = TextTable::new(
         "Table 3: Performance Bounds (CPL)",
         &[
-            "LFK", "t_f", "t_m", "t'_f", "t'_m", "t^f_MACS", "t^m_MACS", "t_MA", "t_MAC",
-            "t_MACS",
+            "LFK", "t_f", "t_m", "t'_f", "t'_m", "t^f_MACS", "t^m_MACS", "t_MA", "t_MAC", "t_MACS",
         ],
     );
     for r in &suite.rows {
@@ -121,7 +129,15 @@ pub fn table4(suite: &Suite) -> TextTable {
     let mut t = TextTable::new(
         "Table 4: Comparison of Bounds with Measured Performance (CPF)",
         &[
-            "LFK", "t_MA", "t_MAC", "t_MACS", "t_p", "%MA", "%MAC", "%MACS", "paper t_p",
+            "LFK",
+            "t_MA",
+            "t_MAC",
+            "t_MACS",
+            "t_p",
+            "%MA",
+            "%MAC",
+            "%MACS",
+            "paper t_p",
         ],
     );
     let mut sums = [0.0f64; 4];
@@ -180,7 +196,14 @@ pub fn table5(suite: &Suite) -> TextTable {
     let mut t = TextTable::new(
         "Table 5: MACS Bounds and Measurements (CPL)",
         &[
-            "LFK", "t_p", "t_MACS", "t_x", "t^f_MACS", "t_a", "t^m_MACS", "overlap",
+            "LFK",
+            "t_p",
+            "t_MACS",
+            "t_x",
+            "t^f_MACS",
+            "t_a",
+            "t^m_MACS",
+            "overlap",
             "paper t_p",
         ],
     );

@@ -41,7 +41,11 @@ impl fmt::Display for WorkedExample {
                 instrs.join(" ; ")
             )?;
         }
-        writeln!(f, "  sum of chime bounds:   {:>8.2} (paper: 527)", self.bound_sum)?;
+        writeln!(
+            f,
+            "  sum of chime bounds:   {:>8.2} (paper: 527)",
+            self.bound_sum
+        )?;
         writeln!(
             f,
             "  with refresh (x1.02):  {:>8.2} (paper: 537.54)",
@@ -57,11 +61,7 @@ impl fmt::Display for WorkedExample {
             "  measured full loop:    {:>8.2} cycles/iteration (paper: 545.28)",
             self.measured_per_iteration
         )?;
-        write!(
-            f,
-            "  measured CPF: {:.3} (paper: 0.852)",
-            self.measured_cpf
-        )
+        write!(f, "  measured CPF: {:.3} (paper: 0.852)", self.measured_cpf)
     }
 }
 
@@ -144,7 +144,9 @@ fn calibrate_chime(instrs: &[Instruction], sim: &SimConfig) -> f64 {
         cpu.set_sreg_fp(1, 2.0);
         cpu.set_sreg_fp(3, 3.0);
         cpu.set_sreg_fp(7, 4.0);
-        cpu.run(&build(iters)).expect("calibration loop runs").cycles
+        cpu.run(&build(iters))
+            .expect("calibration loop runs")
+            .cycles
     };
     (run(60) - run(20)) / 40.0
 }

@@ -24,9 +24,7 @@
 use std::collections::BTreeMap;
 
 use crate::error::AsmError;
-use crate::instr::{
-    CmpOp, FpOp, Instruction, IntOp, IntOperand, MemRef, ScalarReg, VOperand,
-};
+use crate::instr::{CmpOp, FpOp, Instruction, IntOp, IntOperand, MemRef, ScalarReg, VOperand};
 use crate::program::Program;
 use crate::reg::{AReg, SReg, VReg};
 use crate::value::ScalarValue;
@@ -121,9 +119,7 @@ fn parse_instruction(text: &str) -> Result<Instruction, String> {
             let b = parse_voperand(b)?;
             let dst = parse_vreg(dst)?;
             if a.as_vreg().is_none() && b.as_vreg().is_none() {
-                return Err(format!(
-                    "`{mnemonic}` requires at least one vector operand"
-                ));
+                return Err(format!("`{mnemonic}` requires at least one vector operand"));
             }
             Ok(match mnemonic {
                 "add.d" => Instruction::VAdd { a, b, dst },
@@ -365,9 +361,7 @@ fn parse_int_operand(text: &str) -> Result<IntOperand, String> {
 fn parse_memref(text: &str) -> Result<MemRef, String> {
     let (body, stride) = match text.rsplit_once(':') {
         Some((body, s)) => {
-            let stride: i64 = s
-                .parse()
-                .map_err(|_| format!("bad stride in `{text}`"))?;
+            let stride: i64 = s.parse().map_err(|_| format!("bad stride in `{text}`"))?;
             if stride == 0 {
                 return Err(format!("zero stride in `{text}`"));
             }
@@ -543,10 +537,7 @@ start:
     fn fp_vs_int_immediates() {
         let p = assemble("mov #3,s0\nmov #3.0,s1\n").unwrap();
         match (&p.instructions()[0], &p.instructions()[1]) {
-            (
-                Instruction::SMovImm { value: a, .. },
-                Instruction::SMovImm { value: b, .. },
-            ) => {
+            (Instruction::SMovImm { value: a, .. }, Instruction::SMovImm { value: b, .. }) => {
                 assert_eq!(*a, ScalarValue::Int(3));
                 assert_eq!(*b, ScalarValue::Fp(3.0));
             }

@@ -541,8 +541,9 @@ impl Instruction {
         use Instruction::*;
         match self {
             VLoad { .. } | VStore { .. } => Some(Pipe::LoadStore),
-            VAdd { .. } | VSub { .. } | VNeg { .. } | VSum { .. } | VRAdd { .. }
-            | VRSub { .. } => Some(Pipe::Add),
+            VAdd { .. } | VSub { .. } | VNeg { .. } | VSum { .. } | VRAdd { .. } | VRSub { .. } => {
+                Some(Pipe::Add)
+            }
             VMul { .. } | VDiv { .. } => Some(Pipe::Multiply),
             _ => None,
         }
@@ -553,12 +554,25 @@ impl Instruction {
         use Instruction::*;
         match self {
             VLoad { .. } | VStore { .. } => InstrClass::VectorMem,
-            VAdd { .. } | VSub { .. } | VMul { .. } | VDiv { .. } | VNeg { .. }
-            | VSum { .. } | VRAdd { .. } | VRSub { .. } => InstrClass::VectorFp,
+            VAdd { .. }
+            | VSub { .. }
+            | VMul { .. }
+            | VDiv { .. }
+            | VNeg { .. }
+            | VSum { .. }
+            | VRAdd { .. }
+            | VRSub { .. } => InstrClass::VectorFp,
             SLoad { .. } | SStore { .. } => InstrClass::ScalarMem,
             BranchT { .. } | BranchF { .. } | Jump { .. } => InstrClass::Control,
-            SetVl { .. } | SetVlImm { .. } | SMovImm { .. } | SMov { .. } | SIntOp { .. }
-            | SFpOp { .. } | Cmp { .. } | Halt | Nop => InstrClass::Scalar,
+            SetVl { .. }
+            | SetVlImm { .. }
+            | SMovImm { .. }
+            | SMov { .. }
+            | SIntOp { .. }
+            | SFpOp { .. }
+            | Cmp { .. }
+            | Halt
+            | Nop => InstrClass::Scalar,
         }
     }
 
@@ -598,7 +612,10 @@ impl Instruction {
     pub fn vector_reads(&self) -> Vec<VReg> {
         use Instruction::*;
         match self {
-            VStore { src, .. } | VNeg { src, .. } | VSum { src, .. } | VRAdd { src, .. }
+            VStore { src, .. }
+            | VNeg { src, .. }
+            | VSum { src, .. }
+            | VRAdd { src, .. }
             | VRSub { src, .. } => vec![*src],
             VAdd { a, b, .. } | VSub { a, b, .. } | VMul { a, b, .. } | VDiv { a, b, .. } => {
                 a.as_vreg().into_iter().chain(b.as_vreg()).collect()
@@ -611,8 +628,12 @@ impl Instruction {
     pub fn vector_write(&self) -> Option<VReg> {
         use Instruction::*;
         match self {
-            VLoad { dst, .. } | VAdd { dst, .. } | VSub { dst, .. } | VMul { dst, .. }
-            | VDiv { dst, .. } | VNeg { dst, .. } => Some(*dst),
+            VLoad { dst, .. }
+            | VAdd { dst, .. }
+            | VSub { dst, .. }
+            | VMul { dst, .. }
+            | VDiv { dst, .. }
+            | VNeg { dst, .. } => Some(*dst),
             _ => None,
         }
     }
@@ -640,8 +661,9 @@ impl Instruction {
     pub fn flops_per_element(&self) -> (u32, u32) {
         use Instruction::*;
         match self {
-            VAdd { .. } | VSub { .. } | VNeg { .. } | VSum { .. } | VRAdd { .. }
-            | VRSub { .. } => (1, 0),
+            VAdd { .. } | VSub { .. } | VNeg { .. } | VSum { .. } | VRAdd { .. } | VRSub { .. } => {
+                (1, 0)
+            }
             VMul { .. } | VDiv { .. } => (0, 1),
             _ => (0, 0),
         }
@@ -766,7 +788,10 @@ mod tests {
             b: v(1).into(),
             dst: v(2),
         };
-        let sum = Instruction::VSum { src: v(0), dst: s(3) };
+        let sum = Instruction::VSum {
+            src: v(0),
+            dst: s(3),
+        };
         assert_eq!(add.flops_per_element(), (1, 0));
         assert_eq!(mul.flops_per_element(), (0, 1));
         assert_eq!(sum.flops_per_element(), (1, 0));
@@ -856,7 +881,10 @@ mod tests {
 
     #[test]
     fn timing_classes() {
-        let red = Instruction::VRAdd { src: v(0), acc: s(1) };
+        let red = Instruction::VRAdd {
+            src: v(0),
+            acc: s(1),
+        };
         assert_eq!(red.timing_class(), Some(TimingClass::Reduction));
         assert_eq!(red.pipe(), Some(Pipe::Add));
         let div = Instruction::VDiv {

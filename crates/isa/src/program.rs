@@ -5,9 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::IsaError;
-use crate::instr::{
-    CmpOp, FpOp, Instruction, IntOp, IntOperand, MemRef, ScalarReg, VOperand,
-};
+use crate::instr::{CmpOp, FpOp, Instruction, IntOp, IntOperand, MemRef, ScalarReg, VOperand};
 use crate::reg::{AReg, SReg, VReg};
 use crate::value::ScalarValue;
 
@@ -245,15 +243,18 @@ pub struct ProgramBuilder {
 }
 
 fn vreg(name: &str) -> VReg {
-    name.parse().unwrap_or_else(|_| panic!("bad vector register `{name}`"))
+    name.parse()
+        .unwrap_or_else(|_| panic!("bad vector register `{name}`"))
 }
 
 fn sreg(name: &str) -> SReg {
-    name.parse().unwrap_or_else(|_| panic!("bad scalar register `{name}`"))
+    name.parse()
+        .unwrap_or_else(|_| panic!("bad scalar register `{name}`"))
 }
 
 fn areg(name: &str) -> AReg {
-    name.parse().unwrap_or_else(|_| panic!("bad address register `{name}`"))
+    name.parse()
+        .unwrap_or_else(|_| panic!("bad address register `{name}`"))
 }
 
 fn voperand(name: &str) -> VOperand {

@@ -140,37 +140,77 @@ impl TimingTable {
         };
         t.set(
             TimingClass::Load,
-            VectorTiming { x: 2.0, y: 10.0, z: 1.0, b: 2.0 },
+            VectorTiming {
+                x: 2.0,
+                y: 10.0,
+                z: 1.0,
+                b: 2.0,
+            },
         );
         t.set(
             TimingClass::Store,
-            VectorTiming { x: 2.0, y: 10.0, z: 1.0, b: 4.0 },
+            VectorTiming {
+                x: 2.0,
+                y: 10.0,
+                z: 1.0,
+                b: 4.0,
+            },
         );
         t.set(
             TimingClass::Add,
-            VectorTiming { x: 2.0, y: 10.0, z: 1.0, b: 1.0 },
+            VectorTiming {
+                x: 2.0,
+                y: 10.0,
+                z: 1.0,
+                b: 1.0,
+            },
         );
         t.set(
             TimingClass::Sub,
-            VectorTiming { x: 2.0, y: 10.0, z: 1.0, b: 1.0 },
+            VectorTiming {
+                x: 2.0,
+                y: 10.0,
+                z: 1.0,
+                b: 1.0,
+            },
         );
         t.set(
             TimingClass::Mul,
-            VectorTiming { x: 2.0, y: 12.0, z: 1.0, b: 1.0 },
+            VectorTiming {
+                x: 2.0,
+                y: 12.0,
+                z: 1.0,
+                b: 1.0,
+            },
         );
         t.set(
             TimingClass::Div,
-            VectorTiming { x: 2.0, y: 72.0, z: 4.0, b: 21.0 },
+            VectorTiming {
+                x: 2.0,
+                y: 72.0,
+                z: 4.0,
+                b: 21.0,
+            },
         );
         // Footnote b of Table 1: Z between 1.39 and 1.43 in calibration;
         // set conservatively to 1.35 with B = 0.
         t.set(
             TimingClass::Reduction,
-            VectorTiming { x: 2.0, y: 10.0, z: 1.35, b: 0.0 },
+            VectorTiming {
+                x: 2.0,
+                y: 10.0,
+                z: 1.35,
+                b: 0.0,
+            },
         );
         t.set(
             TimingClass::Neg,
-            VectorTiming { x: 2.0, y: 10.0, z: 1.0, b: 1.0 },
+            VectorTiming {
+                x: 2.0,
+                y: 10.0,
+                z: 1.0,
+                b: 1.0,
+            },
         );
         t
     }

@@ -43,7 +43,9 @@ fn main() -> ExitCode {
     let kernels: Vec<Box<dyn LfkKernel>> = if ids.is_empty() {
         all()
     } else {
-        ids.iter().map(|&id| by_id(id).expect("validated")).collect()
+        ids.iter()
+            .map(|&id| by_id(id).expect("validated"))
+            .collect()
     };
 
     println!(

@@ -81,7 +81,11 @@ pub fn compare(
     expected: &[f64],
     rel_tol: f64,
 ) -> Result<(), CheckError> {
-    assert_eq!(simulated.len(), expected.len(), "length mismatch for {what}");
+    assert_eq!(
+        simulated.len(),
+        expected.len(),
+        "length mismatch for {what}"
+    );
     for (i, (&s, &e)) in simulated.iter().zip(expected).enumerate() {
         let denom = e.abs().max(1.0);
         // Deliberately negated so a NaN difference also reports a

@@ -112,13 +112,13 @@ impl LfkKernel for Lfk2 {
         // current segment start p; a1 = &x[k] (k = p+2j+1); a2 = &v[k];
         // a3 = &x[q] store pointer; a6 saves q for the next segment.
         let dxv = (V_WORD as i64 - X_WORD as i64) * 8; // v[k] = x[k] + dxv
-        // The per-segment preamble mirrors what a strip-mining compiler
-        // emits for a loop it can barely vectorize ("difficulty in
-        // vectorizing due to its multiple exits", §4.4): it spills the
-        // level bookkeeping to a stack frame (a7), guards the trip
-        // count at run time, and computes strip/remainder splits — all
-        // scalar work the MACS bound deliberately excludes, and the
-        // reason this kernel's measurement sits far above its bound.
+                                                       // The per-segment preamble mirrors what a strip-mining compiler
+                                                       // emits for a loop it can barely vectorize ("difficulty in
+                                                       // vectorizing due to its multiple exits", §4.4): it spills the
+                                                       // level bookkeeping to a stack frame (a7), guards the trip
+                                                       // count at run time, and computes strip/remainder splits — all
+                                                       // scalar work the MACS bound deliberately excludes, and the
+                                                       // reason this kernel's measurement sits far above its bound.
         assemble(&format!(
             "   mov #{PASSES},a0
                 mov #{frame_byte},a7    ; scalar loop frame
@@ -373,7 +373,11 @@ mod tests {
                 .zip(&scaled)
                 .map(|(&(z, b, _), &s)| {
                     let cost = z * VL + b;
-                    if s { cost * 1.02 } else { cost }
+                    if s {
+                        cost * 1.02
+                    } else {
+                        cost
+                    }
                 })
                 .sum();
             total / VL

@@ -341,7 +341,11 @@ mod tests {
                 .zip(&scaled)
                 .map(|(&(z, b, _), &s)| {
                     let cost = z * VL + b;
-                    if s { cost * 1.02 } else { cost }
+                    if s {
+                        cost * 1.02
+                    } else {
+                        cost
+                    }
                 })
                 .sum();
             total / VL

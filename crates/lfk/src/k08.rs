@@ -300,10 +300,7 @@ mod tests {
         // Paper Table 3/5: 30.15 (schedule differs; see EXPERIMENTS.md) CPL.
         use macs_core_shim::*;
         let b = bound_cpl(&Lfk8.program(), Lfk8.ma());
-        assert!(
-            (b - 33.93).abs() < 0.06,
-            "t_MACS = {b} CPL, expected 33.93"
-        );
+        assert!((b - 33.93).abs() < 0.06, "t_MACS = {b} CPL, expected 33.93");
     }
 
     /// lfk-suite cannot depend on macs-core (dependency direction), so
@@ -425,7 +422,11 @@ mod tests {
                 .zip(&scaled)
                 .map(|(&(z, b, _), &s)| {
                     let cost = z * VL + b;
-                    if s { cost * 1.02 } else { cost }
+                    if s {
+                        cost * 1.02
+                    } else {
+                        cost
+                    }
                 })
                 .sum();
             total / VL

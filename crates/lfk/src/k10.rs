@@ -97,7 +97,10 @@ impl LfkKernel for Lfk10 {
         // and reads two, inside the §3.3 port limits.
         let off = |j: usize| ((j - 1) * 8) as i64;
         let mut body = String::new();
-        body.push_str(&format!("    ld.l {}(a2):25,v0     ; c1: CX(5,i)\n", off(5)));
+        body.push_str(&format!(
+            "    ld.l {}(a2):25,v0     ; c1: CX(5,i)\n",
+            off(5)
+        ));
         let d = ["v0", "v2", "v4", "v6"];
         let l = ["v1", "v3", "v5", "v7"];
         for (stage, j) in (5..=13).enumerate() {
@@ -308,7 +311,11 @@ mod tests {
                 .zip(&scaled)
                 .map(|(&(z, b, _), &s)| {
                     let cost = z * VL + b;
-                    if s { cost * 1.02 } else { cost }
+                    if s {
+                        cost * 1.02
+                    } else {
+                        cost
+                    }
                 })
                 .sum();
             total / VL

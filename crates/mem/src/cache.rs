@@ -56,7 +56,10 @@ pub struct ScalarCache {
 impl ScalarCache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.lines > 0 && config.line_words > 0, "cache must be non-empty");
+        assert!(
+            config.lines > 0 && config.line_words > 0,
+            "cache must be non-empty"
+        );
         ScalarCache {
             config,
             tags: vec![None; config.lines],

@@ -56,13 +56,7 @@ impl ContentionStream {
     ///
     /// Claims occur at cycles `c` with `(phase + c·stride) ≡ bank (mod
     /// banks)`, each lasting `claim_len` cycles.
-    pub fn blocking_claim_end(
-        &self,
-        bank: u32,
-        banks: u32,
-        t: f64,
-        claim_len: f64,
-    ) -> Option<f64> {
+    pub fn blocking_claim_end(&self, bank: u32, banks: u32, t: f64, claim_len: f64) -> Option<f64> {
         debug_assert!(self.stride % 2 == 1, "contention stride must be odd");
         let m = u64::from(banks);
         // Solve phase + c*stride ≡ bank (mod m) for c.
@@ -183,13 +177,7 @@ impl ContentionConfig {
 
     /// The end of the latest claim blocking a grant to `bank` at cycle
     /// `t`, if any stream blocks it.
-    pub fn blocking_claim_end(
-        &self,
-        bank: u32,
-        banks: u32,
-        t: f64,
-        claim_len: f64,
-    ) -> Option<f64> {
+    pub fn blocking_claim_end(&self, bank: u32, banks: u32, t: f64, claim_len: f64) -> Option<f64> {
         self.streams
             .iter()
             .filter_map(|s| s.blocking_claim_end(bank, banks, t, claim_len))

@@ -86,6 +86,30 @@ pub struct MemorySystem {
     bank_free: Vec<f64>,
     accesses: u64,
     waited: f64,
+    breakdown: WaitBreakdown,
+}
+
+/// Cycles accesses spent waiting, split by cause.
+///
+/// Every bump of the grant-search cursor is charged to exactly one
+/// field, so `bank_busy + refresh + contention` equals
+/// [`MemorySystem::wait_cycles`] identically — not approximately.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WaitBreakdown {
+    /// Waiting for a bank still cycling from an earlier access.
+    pub bank_busy: f64,
+    /// Waiting out refresh windows (each blocked access pays the full
+    /// window, per §3.2 of the paper).
+    pub refresh: f64,
+    /// Waiting behind background CPUs' bank claims.
+    pub contention: f64,
+}
+
+impl WaitBreakdown {
+    /// Sum of all causes; equals total wait cycles.
+    pub fn total(&self) -> f64 {
+        self.bank_busy + self.refresh + self.contention
+    }
 }
 
 impl MemorySystem {
@@ -99,6 +123,7 @@ impl MemorySystem {
             bank_free: vec![0.0; banks],
             accesses: 0,
             waited: 0.0,
+            breakdown: WaitBreakdown::default(),
         }
     }
 
@@ -120,6 +145,11 @@ impl MemorySystem {
     /// Total cycles accesses spent waiting beyond their earliest start.
     pub fn wait_cycles(&self) -> f64 {
         self.waited
+    }
+
+    /// The wait cycles split by cause (bank busy, refresh, contention).
+    pub fn wait_breakdown(&self) -> WaitBreakdown {
+        self.breakdown
     }
 
     /// Reads `addr` (word address) no earlier than cycle `earliest`;
@@ -174,6 +204,7 @@ impl MemorySystem {
         self.bank_free.fill(0.0);
         self.accesses = 0;
         self.waited = 0.0;
+        self.breakdown = WaitBreakdown::default();
     }
 
     fn check(&self, addr: u64) {
@@ -199,6 +230,7 @@ impl MemorySystem {
                  contention configuration saturates the bank"
             );
             if t < self.bank_free[bank] {
+                self.breakdown.bank_busy += self.bank_free[bank] - t;
                 t = self.bank_free[bank];
                 continue;
             }
@@ -211,6 +243,7 @@ impl MemorySystem {
                     // stall for eight cycles" — the blocked access pays
                     // the full window (re-arbitration included), not just
                     // the remainder of it.
+                    self.breakdown.refresh += len;
                     t += len;
                     continue;
                 }
@@ -221,6 +254,7 @@ impl MemorySystem {
                 t,
                 self.config.bank_busy as f64,
             ) {
+                self.breakdown.contention += end - t;
                 t = end;
                 continue;
             }
@@ -355,9 +389,9 @@ mod tests {
 
     #[test]
     fn contention_delays_grants() {
-        let cfg = MemConfig::c240().without_refresh().with_contention(
-            ContentionConfig::idle().with_stream(ContentionStream::unit(0)),
-        );
+        let cfg = MemConfig::c240()
+            .without_refresh()
+            .with_contention(ContentionConfig::idle().with_stream(ContentionStream::unit(0)));
         let mut mem = MemorySystem::new(cfg);
         // The stream claims bank 0 during [0, 8).
         let (g, _) = mem.read(0, 0.0);
@@ -422,5 +456,37 @@ mod tests {
         let _ = mem.read(32, 0.0); // waits 8 cycles
         assert_eq!(mem.wait_cycles(), 8.0);
         assert_eq!(mem.access_count(), 2);
+        assert_eq!(mem.wait_breakdown().bank_busy, 8.0);
+    }
+
+    #[test]
+    fn wait_breakdown_sums_exactly_under_all_causes() {
+        // Refresh + contention + bank recycling all active at once.
+        let cfg = MemConfig::c240().with_contention(ContentionConfig::mixed(3));
+        let mut mem = MemorySystem::new(cfg);
+        let mut t = 0.0;
+        for i in 0..5_000u64 {
+            let addr = (i * 7) % 2000;
+            let (g, _) = mem.read(addr, t);
+            // Re-read the same bank one cycle after its grant: the bank
+            // is still recycling, so this charges bank_busy.
+            let (g2, _) = mem.read(addr, g + 1.0);
+            t = g2 + 1.0;
+        }
+        let b = mem.wait_breakdown();
+        // Exact, not approximate: every cursor bump was charged once.
+        assert_eq!(b.total(), mem.wait_cycles());
+        assert!(b.bank_busy > 0.0 && b.refresh > 0.0 && b.contention > 0.0);
+        // Ablations zero their category.
+        let mut quiet_mem = MemorySystem::new(MemConfig::c240().without_refresh());
+        let mut t = 0.0;
+        for i in 0..1_000u64 {
+            let (g, _) = quiet_mem.read(i % 64, t);
+            t = g + 1.0;
+        }
+        let qb = quiet_mem.wait_breakdown();
+        assert_eq!(qb.refresh, 0.0);
+        assert_eq!(qb.contention, 0.0);
+        assert_eq!(qb.total(), quiet_mem.wait_cycles());
     }
 }

@@ -1,0 +1,455 @@
+//! Cycle-accounting telemetry for the C-240 simulator.
+//!
+//! The MACS methodology (Boyd & Davidson, ISCA 1993) is an exercise in
+//! *attribution*: each gap in the bounds hierarchy t_MA → t_MAC →
+//! t_MACS → t_p is blamed on a specific machine or compiler mechanism.
+//! This crate gives the simulator the measurement substrate to do the
+//! same from the other direction — every cycle a functional unit is not
+//! making progress is tagged with a [`StallCause`], so a run produces a
+//! complete wall-clock partition per [`Lane`]:
+//!
+//! ```text
+//! cycles == busy + Σ stall(cause) + idle        (exactly, per lane)
+//! ```
+//!
+//! The simulator reports events through the [`Probe`] trait, which is
+//! monomorphized into the hot path: with the default [`NoProbe`] every
+//! hook is an empty inline function and `Probe::ENABLED` is `false`, so
+//! attribution arithmetic is skipped entirely and the instrumented
+//! simulator compiles to the same code as the uninstrumented one.
+//! [`CounterProbe`] accumulates totals, per-lane and per-pc breakdowns.
+//!
+//! The [`json`] module hosts the small writer used for `RunReport` and
+//! `BENCH_<date>.json` artifacts (the build environment is offline, so
+//! no serde).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a lane spent a cycle not making progress.
+///
+/// The taxonomy follows the paper's gap commentary (§4.4): memory-side
+/// causes first (the M and A of MACS), then dependence/issue causes
+/// (C and S), then the structural hazards the case study calls out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum StallCause {
+    /// Memory bank still cycling from an earlier access (§3.1 stride
+    /// degree of freedom D).
+    BankBusy,
+    /// DRAM refresh window stole the cycle (Table 1's 1.58% tax).
+    Refresh,
+    /// A background CPU's request won the bank this cycle (§4.2).
+    Contention,
+    /// Waiting for a chained operand to be produced element-by-element
+    /// (§3.3 — chaining hides most, but not all, of this).
+    ChainWait,
+    /// Chaining disabled: waiting for a producer to *complete* before
+    /// the first element may start (the Cray-2-style drain).
+    OperandBarrier,
+    /// Instruction issue blocked behind an earlier instruction on the
+    /// same pipe or an unresolved scalar dependence (RAW interlock).
+    IssueInterlock,
+    /// The tailgating restriction's inter-instruction bubble B (Eq. 13).
+    TailgateBubble,
+    /// Post-reduction pipe drain: a reduction ties up all pipes until
+    /// its scalar result is ready.
+    ReductionDrain,
+    /// Waiting for the pipe's previous vector instruction to finish
+    /// streaming, beyond any tailgate bubble (structural pipe busy).
+    PipeDrain,
+    /// Register-pair read/write port conflict delayed issue (§3.2's
+    /// "fourth degree of freedom").
+    PairConflict,
+    /// Scalar load missed the scalar cache and paid the memory penalty.
+    ScalarCacheMiss,
+    /// Scalar memory access serialized against vector memory streams
+    /// (shared memory-port fence).
+    MemPortConflict,
+}
+
+impl StallCause {
+    /// Every cause, in display order.
+    pub const ALL: [StallCause; 12] = [
+        StallCause::BankBusy,
+        StallCause::Refresh,
+        StallCause::Contention,
+        StallCause::ChainWait,
+        StallCause::OperandBarrier,
+        StallCause::IssueInterlock,
+        StallCause::TailgateBubble,
+        StallCause::ReductionDrain,
+        StallCause::PipeDrain,
+        StallCause::PairConflict,
+        StallCause::ScalarCacheMiss,
+        StallCause::MemPortConflict,
+    ];
+
+    /// Number of distinct causes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in JSON reports and CSV headers.
+    pub fn key(self) -> &'static str {
+        match self {
+            StallCause::BankBusy => "bank_busy",
+            StallCause::Refresh => "refresh",
+            StallCause::Contention => "contention",
+            StallCause::ChainWait => "chain_wait",
+            StallCause::OperandBarrier => "operand_barrier",
+            StallCause::IssueInterlock => "issue_interlock",
+            StallCause::TailgateBubble => "tailgate_bubble",
+            StallCause::ReductionDrain => "reduction_drain",
+            StallCause::PipeDrain => "pipe_drain",
+            StallCause::PairConflict => "pair_conflict",
+            StallCause::ScalarCacheMiss => "scalar_cache_miss",
+            StallCause::MemPortConflict => "mem_port_conflict",
+        }
+    }
+
+    /// True for the causes that make up vector memory wait time — the
+    /// bank/refresh/contention split of `memory_wait_cycles`.
+    pub fn is_memory_wait(self) -> bool {
+        matches!(
+            self,
+            StallCause::BankBusy | StallCause::Refresh | StallCause::Contention
+        )
+    }
+}
+
+impl fmt::Display for StallCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// A functional-unit lane whose time is being accounted.
+///
+/// The three vector pipes mirror `c240_isa::Pipe`; the two scalar lanes
+/// separate scalar execution from scalar memory traffic, which stalls
+/// for different reasons (cache misses and the shared memory port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Lane {
+    /// Vector load/store pipe.
+    Ld,
+    /// Vector add pipe.
+    Add,
+    /// Vector multiply pipe.
+    Mul,
+    /// Scalar execution (issue, branches, integer/fp scalar ops).
+    Scalar,
+    /// Scalar memory accesses (through the scalar cache).
+    ScalarMem,
+}
+
+impl Lane {
+    /// Every lane, in display order.
+    pub const ALL: [Lane; 5] = [
+        Lane::Ld,
+        Lane::Add,
+        Lane::Mul,
+        Lane::Scalar,
+        Lane::ScalarMem,
+    ];
+
+    /// Number of lanes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in JSON reports and CSV headers.
+    pub fn key(self) -> &'static str {
+        match self {
+            Lane::Ld => "ld",
+            Lane::Add => "add",
+            Lane::Mul => "mul",
+            Lane::Scalar => "scalar",
+            Lane::ScalarMem => "scalar_mem",
+        }
+    }
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Cycles lost per [`StallCause`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StallCounters {
+    cycles: [f64; StallCause::COUNT],
+}
+
+impl StallCounters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to `cause`.
+    pub fn add(&mut self, cause: StallCause, cycles: f64) {
+        self.cycles[cause as usize] += cycles;
+    }
+
+    /// Cycles charged to `cause`.
+    pub fn get(&self, cause: StallCause) -> f64 {
+        self.cycles[cause as usize]
+    }
+
+    /// Total stalled cycles across all causes.
+    pub fn total(&self) -> f64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Total over the memory-wait causes (bank busy + refresh +
+    /// contention).
+    pub fn memory_wait(&self) -> f64 {
+        StallCause::ALL
+            .iter()
+            .filter(|c| c.is_memory_wait())
+            .map(|&c| self.get(c))
+            .sum()
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &StallCounters) {
+        for (a, b) in self.cycles.iter_mut().zip(other.cycles.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(cause, cycles)` pairs with nonzero cycles, largest first.
+    pub fn nonzero(&self) -> Vec<(StallCause, f64)> {
+        let mut v: Vec<(StallCause, f64)> = StallCause::ALL
+            .iter()
+            .map(|&c| (c, self.get(c)))
+            .filter(|&(_, cy)| cy > 0.0)
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+}
+
+/// The complete wall-clock partition of one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LaneAccount {
+    /// Cycles the lane was doing useful work (streaming elements,
+    /// executing a scalar op, servicing a hit).
+    pub busy: f64,
+    /// Cycles lost to attributed stalls.
+    pub stalls: StallCounters,
+    /// Cycles with nothing scheduled on the lane.
+    pub idle: f64,
+}
+
+impl LaneAccount {
+    /// `busy + stalls + idle` — equals wall-clock cycles when the
+    /// account is complete.
+    pub fn accounted(&self) -> f64 {
+        self.busy + self.stalls.total() + self.idle
+    }
+
+    /// Busy fraction of the accounted time (0 when nothing accounted).
+    pub fn utilization(&self) -> f64 {
+        let t = self.accounted();
+        if t > 0.0 {
+            self.busy / t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Observation hooks the simulator drives.
+///
+/// Implementations with `ENABLED == false` (the default, [`NoProbe`])
+/// compile every hook away; the simulator also uses `P::ENABLED` to
+/// skip the bookkeeping that *prepares* hook arguments, so a disabled
+/// probe costs nothing beyond monomorphization.
+pub trait Probe {
+    /// Whether the simulator should compute attribution at all.
+    const ENABLED: bool = false;
+
+    /// `lane` lost `cycles` to `cause` while executing the instruction
+    /// at `pc`.
+    #[inline(always)]
+    fn stall(&mut self, lane: Lane, cause: StallCause, cycles: f64, pc: usize) {
+        let _ = (lane, cause, cycles, pc);
+    }
+
+    /// `lane` did useful work for `cycles` on behalf of `pc`.
+    #[inline(always)]
+    fn busy(&mut self, lane: Lane, cycles: f64, pc: usize) {
+        let _ = (lane, cycles, pc);
+    }
+
+    /// `lane` had nothing scheduled for `cycles`.
+    #[inline(always)]
+    fn idle(&mut self, lane: Lane, cycles: f64) {
+        let _ = (lane, cycles);
+    }
+}
+
+/// The zero-cost probe: every hook is a no-op and `ENABLED` is false.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {}
+
+/// Accumulating probe: totals, per-lane accounts, and a per-pc stall
+/// breakdown.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CounterProbe {
+    lanes: [LaneAccount; Lane::COUNT],
+    by_pc: BTreeMap<usize, StallCounters>,
+}
+
+impl CounterProbe {
+    /// A fresh, all-zero probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The account for one lane.
+    pub fn lane(&self, lane: Lane) -> &LaneAccount {
+        &self.lanes[lane as usize]
+    }
+
+    /// All lanes in display order.
+    pub fn lanes(&self) -> impl Iterator<Item = (Lane, &LaneAccount)> {
+        Lane::ALL.iter().map(move |&l| (l, &self.lanes[l as usize]))
+    }
+
+    /// Stall totals summed over every lane.
+    pub fn totals(&self) -> StallCounters {
+        let mut t = StallCounters::new();
+        for account in &self.lanes {
+            t.merge(&account.stalls);
+        }
+        t
+    }
+
+    /// Busy cycles summed over every lane.
+    pub fn busy_total(&self) -> f64 {
+        self.lanes.iter().map(|a| a.busy).sum()
+    }
+
+    /// Per-pc stall breakdown (pcs with at least one attributed stall).
+    pub fn by_pc(&self) -> &BTreeMap<usize, StallCounters> {
+        &self.by_pc
+    }
+
+    /// The `n` pcs losing the most cycles, largest first.
+    pub fn hottest_pcs(&self, n: usize) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self.by_pc.iter().map(|(&pc, c)| (pc, c.total())).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+impl Probe for CounterProbe {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn stall(&mut self, lane: Lane, cause: StallCause, cycles: f64, pc: usize) {
+        debug_assert!(cycles >= -1e-9, "negative stall: {cycles} for {cause:?}");
+        if cycles <= 0.0 {
+            return;
+        }
+        self.lanes[lane as usize].stalls.add(cause, cycles);
+        self.by_pc.entry(pc).or_default().add(cause, cycles);
+    }
+
+    #[inline]
+    fn busy(&mut self, lane: Lane, cycles: f64, pc: usize) {
+        let _ = pc;
+        debug_assert!(cycles >= -1e-9, "negative busy: {cycles}");
+        if cycles > 0.0 {
+            self.lanes[lane as usize].busy += cycles;
+        }
+    }
+
+    #[inline]
+    fn idle(&mut self, lane: Lane, cycles: f64) {
+        debug_assert!(cycles >= -1e-9, "negative idle: {cycles}");
+        if cycles > 0.0 {
+            self.lanes[lane as usize].idle += cycles;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_merge() {
+        let mut a = StallCounters::new();
+        a.add(StallCause::BankBusy, 3.0);
+        a.add(StallCause::Refresh, 2.0);
+        let mut b = StallCounters::new();
+        b.add(StallCause::BankBusy, 1.0);
+        b.add(StallCause::ChainWait, 4.0);
+        a.merge(&b);
+        assert_eq!(a.get(StallCause::BankBusy), 4.0);
+        assert_eq!(a.total(), 10.0);
+        assert_eq!(a.memory_wait(), 6.0);
+        let nz = a.nonzero();
+        assert_eq!(nz[0], (StallCause::BankBusy, 4.0));
+        assert_eq!(nz.len(), 3);
+    }
+
+    #[test]
+    fn lane_account_partition() {
+        let mut p = CounterProbe::new();
+        p.busy(Lane::Ld, 10.0, 3);
+        p.stall(Lane::Ld, StallCause::BankBusy, 2.5, 3);
+        p.idle(Lane::Ld, 7.5);
+        let acct = p.lane(Lane::Ld);
+        assert_eq!(acct.accounted(), 20.0);
+        assert_eq!(acct.utilization(), 0.5);
+        assert_eq!(p.by_pc()[&3].get(StallCause::BankBusy), 2.5);
+    }
+
+    #[test]
+    fn zero_and_negative_events_ignored() {
+        let mut p = CounterProbe::new();
+        p.stall(Lane::Add, StallCause::ChainWait, 0.0, 1);
+        p.busy(Lane::Add, 0.0, 1);
+        assert_eq!(p.totals().total(), 0.0);
+        assert!(p.by_pc().is_empty());
+    }
+
+    #[test]
+    fn hottest_pcs_orders_by_lost_cycles() {
+        let mut p = CounterProbe::new();
+        p.stall(Lane::Ld, StallCause::BankBusy, 1.0, 10);
+        p.stall(Lane::Add, StallCause::ChainWait, 5.0, 20);
+        p.stall(Lane::Mul, StallCause::TailgateBubble, 3.0, 30);
+        let hot = p.hottest_pcs(2);
+        assert_eq!(hot, vec![(20, 5.0), (30, 3.0)]);
+    }
+
+    #[test]
+    fn noprobe_is_disabled() {
+        const { assert!(!<NoProbe as Probe>::ENABLED) };
+        const { assert!(<CounterProbe as Probe>::ENABLED) };
+    }
+
+    #[test]
+    fn keys_are_stable_and_unique() {
+        let mut keys: Vec<&str> = StallCause::ALL.iter().map(|c| c.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), StallCause::COUNT);
+        let mut lanes: Vec<&str> = Lane::ALL.iter().map(|l| l.key()).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert_eq!(lanes.len(), Lane::COUNT);
+    }
+}

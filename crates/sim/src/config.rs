@@ -62,6 +62,13 @@ pub struct SimConfig {
     pub pair_constraint: bool,
     /// Record a pipeline trace of every vector instruction.
     pub trace: bool,
+    /// Maximum number of trace events kept per run. Each event stores
+    /// the disassembled text plus six timestamps (~150 bytes), so the
+    /// default of 65 536 bounds a trace at roughly 10 MiB; events past
+    /// the cap are counted in [`crate::Trace::dropped`] instead of
+    /// stored. Raise it (or set `usize::MAX`) for exhaustive traces of
+    /// long runs, at the corresponding memory cost.
+    pub trace_cap: usize,
     /// Abort after this many executed instructions (runaway-loop guard).
     pub max_instructions: u64,
 }
@@ -77,6 +84,7 @@ impl SimConfig {
             chaining: true,
             pair_constraint: true,
             trace: false,
+            trace_cap: 65_536,
             max_instructions: 200_000_000,
         }
     }
@@ -109,6 +117,13 @@ impl SimConfig {
     /// Same machine with tracing enabled.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Same machine with a different trace-event cap (see
+    /// [`SimConfig::trace_cap`] for the memory cost).
+    pub fn with_trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = cap;
         self
     }
 }
@@ -145,5 +160,12 @@ mod tests {
         assert!(!c.mem.refresh_enabled);
         assert!(c.trace);
         assert_eq!(c.timing.get(TimingClass::Store).b, 0.0);
+    }
+
+    #[test]
+    fn trace_cap_builder() {
+        let c = SimConfig::c240().with_trace().with_trace_cap(8);
+        assert_eq!(c.trace_cap, 8);
+        assert!(SimConfig::c240().trace_cap > 0);
     }
 }

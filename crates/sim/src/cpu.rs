@@ -23,10 +23,11 @@
 
 use c240_isa::timing::VectorTiming;
 use c240_isa::{
-    AReg, Instruction, IntOperand, MemRef, Pipe, Program, SReg, ScalarReg,
-    ScalarValue, VOperand, VReg, MAX_VL, WORD_BYTES,
+    AReg, Instruction, IntOperand, MemRef, Pipe, Program, SReg, ScalarReg, ScalarValue, VOperand,
+    VReg, MAX_VL, WORD_BYTES,
 };
-use c240_mem::{MemorySystem, ScalarCache};
+use c240_mem::{MemorySystem, ScalarCache, WaitBreakdown};
+use c240_obs::{Lane, NoProbe, Probe, StallCause};
 
 use crate::config::SimConfig;
 use crate::error::SimError;
@@ -42,6 +43,38 @@ struct PipeState {
     /// Earliest cycle the next instruction for this pipe may issue
     /// (one-deep reservation station).
     issue_gate: f64,
+}
+
+/// Cycles a pipe's `next_entry` was pushed forward, remembered by cause
+/// so the wait can be attributed when the *next* instruction on the pipe
+/// actually pays for it. Consumed (zeroed) at each attribution.
+#[derive(Debug, Clone, Copy, Default)]
+struct PipeCredits {
+    /// Tailgate bubbles `B` charged at retire (Eq. 13).
+    bubble: f64,
+    /// Post-reduction serialization of all pipes.
+    reduction: f64,
+    /// Scalar memory access fencing the vector stream (shared port).
+    fence: f64,
+}
+
+/// The `max` terms that produced a vector instruction's first-element
+/// entry time, passed to [`Cpu::attribute_entry`] for stall attribution.
+struct EntryTerms {
+    issue_done: f64,
+    fence: f64,
+    barrier: f64,
+    chain0: f64,
+    pre_pair: f64,
+    entry0: f64,
+}
+
+fn lane_of(slot: usize) -> Lane {
+    match slot {
+        0 => Lane::Ld,
+        1 => Lane::Add,
+        _ => Lane::Mul,
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +141,12 @@ pub struct Cpu {
     scalar_mem_fence: f64,
     active: Vec<ActiveVec>,
 
+    // Telemetry state (only maintained while a probe with
+    // `Probe::ENABLED` drives the run; `credits` costs a few float adds
+    // regardless, the `acct` cursors are fully gated).
+    acct: [f64; Lane::COUNT],
+    credits: [PipeCredits; 3],
+
     stats: RunStats,
     trace: Trace,
 }
@@ -143,6 +182,8 @@ impl Cpu {
             pipes: [PipeState::default(); 3],
             scalar_mem_fence: 0.0,
             active: Vec::new(),
+            acct: [0.0; Lane::COUNT],
+            credits: [PipeCredits::default(); 3],
             stats: RunStats::default(),
             trace: Trace::default(),
         }
@@ -251,8 +292,14 @@ impl Cpu {
         self.pipes = [PipeState::default(); 3];
         self.scalar_mem_fence = 0.0;
         self.active.clear();
+        self.acct = [0.0; Lane::COUNT];
+        self.credits = [PipeCredits::default(); 3];
         self.stats = RunStats::default();
-        self.trace = Trace::default();
+        self.trace = if self.config.trace {
+            Trace::with_cap(self.config.trace_cap)
+        } else {
+            Trace::default()
+        };
         self.mem.reset_timing();
         self.cache.reset();
     }
@@ -269,6 +316,27 @@ impl Cpu {
     /// [`SimError::FellOffEnd`] if control flow runs past the last
     /// instruction without a `halt`.
     pub fn run(&mut self, program: &Program) -> Result<RunStats, SimError> {
+        self.run_probed(program, &mut NoProbe)
+    }
+
+    /// Runs `program` like [`Cpu::run`], reporting cycle attribution to
+    /// `probe`.
+    ///
+    /// With an enabled probe (e.g. `c240_obs::CounterProbe`) every cycle
+    /// of every lane is tagged as busy, stalled on a specific
+    /// [`StallCause`], or idle, so that per lane
+    /// `busy + stalls + idle == stats.cycles` (up to float rounding).
+    /// With [`NoProbe`] the attribution arithmetic is compiled out and
+    /// this is exactly [`Cpu::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cpu::run`].
+    pub fn run_probed<P: Probe>(
+        &mut self,
+        program: &Program,
+        probe: &mut P,
+    ) -> Result<RunStats, SimError> {
         self.reset_timing();
         let instrs = program.instructions();
         let mut pc = 0usize;
@@ -287,47 +355,72 @@ impl Cpu {
             if matches!(ins, Instruction::Halt) {
                 break;
             }
-            pc = self.step(ins, pc, program)?;
+            pc = self.step(probe, ins, pc, program)?;
         }
         self.stats.cycles = self.end.max(self.clock);
         self.stats.memory_accesses = self.mem.access_count();
         self.stats.memory_wait_cycles = self.mem.wait_cycles();
+        self.stats.memory_waits = self.mem.wait_breakdown();
         self.stats.cache_hits = self.cache.hits();
         self.stats.cache_misses = self.cache.misses();
+        if P::ENABLED {
+            // Close every lane's account out to the end of the run.
+            let total = self.stats.cycles;
+            for slot in 0..3 {
+                probe.idle(lane_of(slot), (total - self.acct[slot]).max(0.0));
+            }
+            probe.idle(Lane::Scalar, (total - self.clock).max(0.0));
+            probe.idle(
+                Lane::ScalarMem,
+                (total - self.acct[Lane::ScalarMem as usize]).max(0.0),
+            );
+        }
         Ok(self.stats.clone())
     }
 
     /// Executes one instruction; returns the next pc.
-    fn step(&mut self, ins: &Instruction, pc: usize, program: &Program) -> Result<usize, SimError> {
+    fn step<P: Probe>(
+        &mut self,
+        probe: &mut P,
+        ins: &Instruction,
+        pc: usize,
+        program: &Program,
+    ) -> Result<usize, SimError> {
         use Instruction::*;
         match ins {
-            VLoad { addr, dst } => self.vector_load(ins, *addr, *dst),
-            VStore { src, addr } => self.vector_store(ins, *src, *addr),
-            VAdd { a, b, dst } => self.vector_arith(ins, *a, *b, *dst, |x, y| x + y),
-            VSub { a, b, dst } => self.vector_arith(ins, *a, *b, *dst, |x, y| x - y),
-            VMul { a, b, dst } => self.vector_arith(ins, *a, *b, *dst, |x, y| x * y),
-            VDiv { a, b, dst } => self.vector_arith(ins, *a, *b, *dst, |x, y| x / y),
-            VNeg { src, dst } => {
-                self.vector_arith(ins, VOperand::V(*src), VOperand::V(*src), *dst, |x, _| -x)
-            }
-            VSum { src, dst } => self.vector_reduce(ins, *src, *dst, false),
-            VRAdd { src, acc } => self.vector_reduce(ins, *src, *acc, true),
+            VLoad { addr, dst } => self.vector_load(probe, pc, ins, *addr, *dst),
+            VStore { src, addr } => self.vector_store(probe, pc, ins, *src, *addr),
+            VAdd { a, b, dst } => self.vector_arith(probe, pc, ins, *a, *b, *dst, |x, y| x + y),
+            VSub { a, b, dst } => self.vector_arith(probe, pc, ins, *a, *b, *dst, |x, y| x - y),
+            VMul { a, b, dst } => self.vector_arith(probe, pc, ins, *a, *b, *dst, |x, y| x * y),
+            VDiv { a, b, dst } => self.vector_arith(probe, pc, ins, *a, *b, *dst, |x, y| x / y),
+            VNeg { src, dst } => self.vector_arith(
+                probe,
+                pc,
+                ins,
+                VOperand::V(*src),
+                VOperand::V(*src),
+                *dst,
+                |x, _| -x,
+            ),
+            VSum { src, dst } => self.vector_reduce(probe, pc, ins, *src, *dst, false),
+            VRAdd { src, acc } => self.vector_reduce(probe, pc, ins, *src, *acc, true),
             VRSub { src, acc } => {
                 // acc -= sum: implemented as accumulate of negated sum.
-                self.vector_reduce_signed(ins, *src, *acc, true, -1.0)
+                self.vector_reduce_signed(probe, pc, ins, *src, *acc, true, -1.0)
             }
             SetVl { src } => {
                 let i = usize::from(src.index());
-                self.clock = self.clock.max(self.s_ready[i]);
-                self.issue_scalar();
+                self.scalar_wait(probe, pc, self.s_ready[i]);
+                self.issue_scalar(probe, pc);
                 self.vl = (self.s[i] as i64).clamp(0, i64::from(MAX_VL)) as u32;
             }
             SetVlImm { value } => {
-                self.issue_scalar();
+                self.issue_scalar(probe, pc);
                 self.vl = (*value).min(MAX_VL);
             }
             SMovImm { value, dst } => {
-                self.issue_scalar();
+                self.issue_scalar(probe, pc);
                 let bits = match value {
                     ScalarValue::Int(i) => *i as u64,
                     ScalarValue::Fp(x) => x.to_bits(),
@@ -336,27 +429,25 @@ impl Cpu {
             }
             SMov { src, dst } => {
                 let (bits, ready) = self.read_scalar_raw(*src);
-                self.clock = self.clock.max(ready);
-                self.issue_scalar();
+                self.scalar_wait(probe, pc, ready);
+                self.issue_scalar(probe, pc);
                 self.write_scalar_raw(*dst, bits, self.clock);
             }
             SIntOp { op, src, dst } => {
                 let (sv, sready) = self.read_int_operand(*src);
                 let (dv, dready) = self.read_scalar_int(*dst);
-                self.clock = self.clock.max(sready).max(dready);
-                self.issue_scalar();
+                self.scalar_wait(probe, pc, sready.max(dready));
+                self.issue_scalar(probe, pc);
                 let ready = self.clock + self.config.scalar.int_latency - 1.0;
                 self.write_scalar_int(*dst, op.apply(dv, sv), ready);
             }
             SFpOp { op, a, b, dst } => {
                 let ia = usize::from(a.index());
                 let ib = usize::from(b.index());
-                self.clock = self.clock.max(self.s_ready[ia]).max(self.s_ready[ib]);
-                self.issue_scalar();
+                self.scalar_wait(probe, pc, self.s_ready[ia].max(self.s_ready[ib]));
+                self.issue_scalar(probe, pc);
                 let lat = match op {
-                    c240_isa::FpOp::Add | c240_isa::FpOp::Sub => {
-                        self.config.scalar.fp_add_latency
-                    }
+                    c240_isa::FpOp::Add | c240_isa::FpOp::Sub => self.config.scalar.fp_add_latency,
                     c240_isa::FpOp::Mul => self.config.scalar.fp_mul_latency,
                     c240_isa::FpOp::Div => self.config.scalar.fp_div_latency,
                 };
@@ -367,36 +458,42 @@ impl Cpu {
                 self.s_ready[id] = self.clock + lat - 1.0;
                 self.end = self.end.max(self.s_ready[id]);
             }
-            SLoad { addr, dst } => self.scalar_load(*addr, *dst)?,
-            SStore { src, addr } => self.scalar_store(*src, *addr)?,
+            SLoad { addr, dst } => self.scalar_load(probe, pc, *addr, *dst)?,
+            SStore { src, addr } => self.scalar_store(probe, pc, *src, *addr)?,
             Cmp { op, lhs, rhs } => {
                 let (lv, lready) = self.read_int_operand(*lhs);
                 let (rv, rready) = self.read_scalar_int(*rhs);
-                self.clock = self.clock.max(lready).max(rready);
-                self.issue_scalar();
+                self.scalar_wait(probe, pc, lready.max(rready));
+                self.issue_scalar(probe, pc);
                 self.tflag = op.apply(lv, rv);
             }
             BranchT { target } | BranchF { target } => {
-                self.issue_scalar();
+                self.issue_scalar(probe, pc);
                 let take = if matches!(ins, BranchT { .. }) {
                     self.tflag
                 } else {
                     !self.tflag
                 };
                 if take {
+                    if P::ENABLED {
+                        probe.busy(Lane::Scalar, self.config.scalar.branch_taken_penalty, pc);
+                    }
                     self.clock += self.config.scalar.branch_taken_penalty;
                     self.stats.branches_taken += 1;
                     return Ok(self.resolve(program, target));
                 }
             }
             Jump { target } => {
-                self.issue_scalar();
+                self.issue_scalar(probe, pc);
+                if P::ENABLED {
+                    probe.busy(Lane::Scalar, self.config.scalar.branch_taken_penalty, pc);
+                }
                 self.clock += self.config.scalar.branch_taken_penalty;
                 self.stats.branches_taken += 1;
                 return Ok(self.resolve(program, target));
             }
             Halt => unreachable!("halt handled by run loop"),
-            Nop => self.issue_scalar(),
+            Nop => self.issue_scalar(probe, pc),
             _ => return Err(SimError::Unsupported { pc }),
         }
         Ok(pc + 1)
@@ -408,9 +505,104 @@ impl Cpu {
             .expect("labels validated at program construction")
     }
 
-    fn issue_scalar(&mut self) {
+    fn issue_scalar<P: Probe>(&mut self, probe: &mut P, pc: usize) {
+        if P::ENABLED {
+            probe.busy(Lane::Scalar, self.config.scalar.issue, pc);
+        }
         self.clock += self.config.scalar.issue;
         self.end = self.end.max(self.clock);
+    }
+
+    /// Advances the scalar clock to `t`, charging any wait to the issue
+    /// interlock (a RAW dependence or structural issue block).
+    fn scalar_wait<P: Probe>(&mut self, probe: &mut P, pc: usize, t: f64) {
+        if t > self.clock {
+            if P::ENABLED {
+                probe.stall(Lane::Scalar, StallCause::IssueInterlock, t - self.clock, pc);
+            }
+            self.clock = t;
+        }
+    }
+
+    /// Charges the gap between a pipe's account cursor and a vector
+    /// instruction's first-element entry time to the responsible causes.
+    ///
+    /// Each `max` term that produced the entry time is charged
+    /// `max(term − running, 0)` in a fixed order, so the charges sum to
+    /// exactly `entry0 − acct[slot]` and no cycle is counted twice. The
+    /// pipe-availability term is split using the [`PipeCredits`] recorded
+    /// when `next_entry` was pushed; the credits are consumed here.
+    fn attribute_entry<P: Probe>(&mut self, probe: &mut P, pc: usize, slot: usize, t: EntryTerms) {
+        let lane = lane_of(slot);
+        let mut run = self.acct[slot];
+        if t.issue_done > run {
+            probe.idle(lane, t.issue_done - run);
+            run = t.issue_done;
+        }
+        let ne = self.pipes[slot].next_entry;
+        if ne > run {
+            let mut gap = ne - run;
+            let c = self.credits[slot];
+            let bubble = gap.min(c.bubble);
+            probe.stall(lane, StallCause::TailgateBubble, bubble, pc);
+            gap -= bubble;
+            let reduction = gap.min(c.reduction);
+            probe.stall(lane, StallCause::ReductionDrain, reduction, pc);
+            gap -= reduction;
+            let fence = gap.min(c.fence);
+            probe.stall(lane, StallCause::MemPortConflict, fence, pc);
+            gap -= fence;
+            probe.stall(lane, StallCause::PipeDrain, gap, pc);
+            run = ne;
+        }
+        self.credits[slot] = PipeCredits::default();
+        if t.fence > run {
+            probe.stall(lane, StallCause::MemPortConflict, t.fence - run, pc);
+            run = t.fence;
+        }
+        if t.barrier > run {
+            probe.stall(lane, StallCause::OperandBarrier, t.barrier - run, pc);
+            run = t.barrier;
+        }
+        if t.chain0 > run {
+            probe.stall(lane, StallCause::ChainWait, t.chain0 - run, pc);
+            run = t.chain0;
+        }
+        run = run.max(t.pre_pair);
+        if t.entry0 > run {
+            probe.stall(lane, StallCause::PairConflict, t.entry0 - run, pc);
+        }
+        self.acct[slot] = t.entry0;
+    }
+
+    /// Reports the bank/refresh/contention wait a single memory access
+    /// accrued, as the difference of [`MemorySystem::wait_breakdown`]
+    /// snapshots taken around the access.
+    fn attribute_mem<P: Probe>(
+        probe: &mut P,
+        lane: Lane,
+        pc: usize,
+        before: WaitBreakdown,
+        after: WaitBreakdown,
+    ) {
+        probe.stall(
+            lane,
+            StallCause::BankBusy,
+            after.bank_busy - before.bank_busy,
+            pc,
+        );
+        probe.stall(
+            lane,
+            StallCause::Refresh,
+            after.refresh - before.refresh,
+            pc,
+        );
+        probe.stall(
+            lane,
+            StallCause::Contention,
+            after.contention - before.contention,
+            pc,
+        );
     }
 
     // ---- scalar register plumbing -------------------------------------
@@ -514,9 +706,12 @@ impl Cpu {
     /// Issue-side preamble common to all vector instructions: waits for
     /// the pipe's reservation station and charges the X overhead.
     /// Returns the issue-complete time.
-    fn vector_issue(&mut self, pipe: Pipe, x: f64) -> f64 {
+    fn vector_issue<P: Probe>(&mut self, probe: &mut P, pc: usize, pipe: Pipe, x: f64) -> f64 {
         let slot = pipe_slot(pipe);
-        self.clock = self.clock.max(self.pipes[slot].issue_gate);
+        self.scalar_wait(probe, pc, self.pipes[slot].issue_gate);
+        if P::ENABLED {
+            probe.busy(Lane::Scalar, x, pc);
+        }
         self.clock += x;
         self.end = self.end.max(self.clock);
         self.clock
@@ -525,6 +720,7 @@ impl Cpu {
     /// Post-schedule bookkeeping shared by all vector instructions.
     fn vector_retire(
         &mut self,
+        pc: usize,
         ins: &Instruction,
         pipe: Pipe,
         timing: VectorTiming,
@@ -534,18 +730,18 @@ impl Cpu {
         let slot = pipe_slot(pipe);
         // max: a reduction may already have pushed the pipe further
         // (scalar-result serialization).
-        self.pipes[slot].next_entry =
-            self.pipes[slot].next_entry.max(sched.last_entry + timing.z);
+        self.pipes[slot].next_entry = self.pipes[slot].next_entry.max(sched.last_entry + timing.z);
         self.pipes[slot].issue_gate = sched.entry0;
         // The restart handshake stalls the VP element advance for B
         // cycles on every pipe (Eq. 13: a chime costs Z·VL + ΣB).
-        for p in &mut self.pipes {
+        for (p, credit) in self.pipes.iter_mut().zip(self.credits.iter_mut()) {
             p.next_entry += timing.b;
+            credit.bubble += timing.b;
         }
         self.end = self.end.max(sched.last_result);
         if self.config.trace {
             self.trace.push(TraceEvent {
-                pc: 0,
+                pc,
                 text: ins.to_string(),
                 pipe,
                 issue_start,
@@ -584,14 +780,18 @@ impl Cpu {
         t
     }
 
-    fn scalar_operand_wait(&mut self, op: VOperand) {
+    fn scalar_operand_wait<P: Probe>(&mut self, probe: &mut P, pc: usize, op: VOperand) {
         if let VOperand::S(s) = op {
-            self.clock = self.clock.max(self.s_ready[usize::from(s.index())]);
+            let ready = self.s_ready[usize::from(s.index())];
+            self.scalar_wait(probe, pc, ready);
         }
     }
 
-    fn vector_arith(
+    #[allow(clippy::too_many_arguments)]
+    fn vector_arith<P: Probe>(
         &mut self,
+        probe: &mut P,
+        pc: usize,
         ins: &Instruction,
         a: VOperand,
         b: VOperand,
@@ -600,39 +800,61 @@ impl Cpu {
     ) {
         let vl = self.vl as usize;
         if vl == 0 {
-            self.issue_scalar();
+            self.issue_scalar(probe, pc);
             return;
         }
         let pipe = ins.pipe().expect("vector arith pipe");
         let timing = self.timing_of(ins);
-        self.scalar_operand_wait(a);
-        self.scalar_operand_wait(b);
+        self.scalar_operand_wait(probe, pc, a);
+        self.scalar_operand_wait(probe, pc, b);
         let issue_start = self.clock;
-        let issue_done = self.vector_issue(pipe, timing.x);
+        let issue_done = self.vector_issue(probe, pc, pipe, timing.x);
 
         let slot = pipe_slot(pipe);
         let d = usize::from(dst.index());
         let barrier = self.no_chain_barrier(&[a, b]);
-        let mut entry0 = issue_done
-            .max(self.pipes[slot].next_entry)
-            .max(barrier)
-            .max(self.operand_ready(a, 0))
+        let chain0 = self
+            .operand_ready(a, 0)
             .max(self.operand_ready(b, 0))
             .max(self.vread_until[d][0]);
-        entry0 = self.pair_admit(ins, entry0, timing.z * vl as f64);
+        let pre_pair = issue_done
+            .max(self.pipes[slot].next_entry)
+            .max(barrier)
+            .max(chain0);
+        let entry0 = self.pair_admit(ins, pre_pair, timing.z * vl as f64);
+        if P::ENABLED {
+            self.attribute_entry(
+                probe,
+                pc,
+                slot,
+                EntryTerms {
+                    issue_done,
+                    fence: 0.0,
+                    barrier,
+                    chain0,
+                    pre_pair,
+                    entry0,
+                },
+            );
+        }
 
         // Functional values first (program order guarantees correctness).
         let va = self.operand_values(a);
         let vb = self.operand_values(b);
 
+        let lane = lane_of(slot);
         let mut entry = entry0;
         let mut first_result = 0.0;
         for e in 0..vl {
             if e > 0 {
-                entry = (entry + timing.z)
+                let ideal = entry + timing.z;
+                entry = ideal
                     .max(self.operand_ready(a, e))
                     .max(self.operand_ready(b, e))
                     .max(self.vread_until[d][e]);
+                if P::ENABLED {
+                    probe.stall(lane, StallCause::ChainWait, entry - ideal, pc);
+                }
             }
             self.mark_read(a, e, entry);
             self.mark_read(b, e, entry);
@@ -645,9 +867,14 @@ impl Cpu {
         }
         let last_entry = entry;
         let last_result = last_entry + timing.y;
+        if P::ENABLED {
+            probe.busy(lane, timing.z * vl as f64, pc);
+            self.acct[slot] = last_entry + timing.z;
+        }
         self.stats.elements[slot] += vl as u64;
         self.stats.flops += vl as u64;
         self.vector_retire(
+            pc,
             ins,
             pipe,
             timing,
@@ -675,12 +902,23 @@ impl Cpu {
         }
     }
 
-    fn vector_reduce(&mut self, ins: &Instruction, src: VReg, dst: SReg, accumulate: bool) {
-        self.vector_reduce_signed(ins, src, dst, accumulate, 1.0)
+    fn vector_reduce<P: Probe>(
+        &mut self,
+        probe: &mut P,
+        pc: usize,
+        ins: &Instruction,
+        src: VReg,
+        dst: SReg,
+        accumulate: bool,
+    ) {
+        self.vector_reduce_signed(probe, pc, ins, src, dst, accumulate, 1.0)
     }
 
-    fn vector_reduce_signed(
+    #[allow(clippy::too_many_arguments)]
+    fn vector_reduce_signed<P: Probe>(
         &mut self,
+        probe: &mut P,
+        pc: usize,
         ins: &Instruction,
         src: VReg,
         dst: SReg,
@@ -689,30 +927,51 @@ impl Cpu {
     ) {
         let vl = self.vl as usize;
         if vl == 0 {
-            self.issue_scalar();
+            self.issue_scalar(probe, pc);
             return;
         }
         let pipe = ins.pipe().expect("reduction pipe");
         let timing = self.timing_of(ins);
         let d = usize::from(dst.index());
         if accumulate {
-            self.clock = self.clock.max(self.s_ready[d]);
+            self.scalar_wait(probe, pc, self.s_ready[d]);
         }
         let issue_start = self.clock;
-        let issue_done = self.vector_issue(pipe, timing.x);
+        let issue_done = self.vector_issue(probe, pc, pipe, timing.x);
         let slot = pipe_slot(pipe);
         let srcop = VOperand::V(src);
         let barrier = self.no_chain_barrier(&[srcop]);
-        let mut entry0 = issue_done
+        let chain0 = self.operand_ready(srcop, 0);
+        let pre_pair = issue_done
             .max(self.pipes[slot].next_entry)
             .max(barrier)
-            .max(self.operand_ready(srcop, 0));
-        entry0 = self.pair_admit(ins, entry0, timing.z * vl as f64);
+            .max(chain0);
+        let entry0 = self.pair_admit(ins, pre_pair, timing.z * vl as f64);
+        if P::ENABLED {
+            self.attribute_entry(
+                probe,
+                pc,
+                slot,
+                EntryTerms {
+                    issue_done,
+                    fence: 0.0,
+                    barrier,
+                    chain0,
+                    pre_pair,
+                    entry0,
+                },
+            );
+        }
 
+        let lane = lane_of(slot);
         let mut entry = entry0;
         for e in 0..vl {
             if e > 0 {
-                entry = (entry + timing.z).max(self.operand_ready(srcop, e));
+                let ideal = entry + timing.z;
+                entry = ideal.max(self.operand_ready(srcop, e));
+                if P::ENABLED {
+                    probe.stall(lane, StallCause::ChainWait, entry - ideal, pc);
+                }
             }
             self.mark_read(srcop, e, entry);
         }
@@ -734,13 +993,21 @@ impl Cpu {
         // (This is what makes the reduction kernels LFK4/6 as expensive
         // as the paper measures; see §3.4's note that reduction chimes
         // involve "numerous special cases".)
-        for p in &mut self.pipes {
-            p.next_entry = p.next_entry.max(last_result);
+        for (p, credit) in self.pipes.iter_mut().zip(self.credits.iter_mut()) {
+            if last_result > p.next_entry {
+                credit.reduction += last_result - p.next_entry;
+                p.next_entry = last_result;
+            }
         }
 
+        if P::ENABLED {
+            probe.busy(lane, timing.z * vl as f64, pc);
+            self.acct[slot] = last_entry + timing.z;
+        }
         self.stats.elements[slot] += vl as u64;
         self.stats.flops += vl as u64;
         self.vector_retire(
+            pc,
             ins,
             pipe,
             timing,
@@ -766,26 +1033,50 @@ impl Cpu {
         word as u64
     }
 
-    fn vector_load(&mut self, ins: &Instruction, addr: MemRef, dst: VReg) {
+    fn vector_load<P: Probe>(
+        &mut self,
+        probe: &mut P,
+        pc: usize,
+        ins: &Instruction,
+        addr: MemRef,
+        dst: VReg,
+    ) {
         let vl = self.vl as usize;
         if vl == 0 {
-            self.issue_scalar();
+            self.issue_scalar(probe, pc);
             return;
         }
         let pipe = Pipe::LoadStore;
         let timing = self.timing_of(ins);
         let base_idx = usize::from(addr.base.index());
-        self.clock = self.clock.max(self.a_ready[base_idx]);
+        self.scalar_wait(probe, pc, self.a_ready[base_idx]);
         let issue_start = self.clock;
-        let issue_done = self.vector_issue(pipe, timing.x);
+        let issue_done = self.vector_issue(probe, pc, pipe, timing.x);
         let slot = pipe_slot(pipe);
         let d = usize::from(dst.index());
-        let mut entry0 = issue_done
+        let chain0 = self.vread_until[d][0];
+        let pre_pair = issue_done
             .max(self.pipes[slot].next_entry)
             .max(self.scalar_mem_fence)
-            .max(self.vread_until[d][0]);
-        entry0 = self.pair_admit(ins, entry0, timing.z * vl as f64);
+            .max(chain0);
+        let entry0 = self.pair_admit(ins, pre_pair, timing.z * vl as f64);
+        if P::ENABLED {
+            self.attribute_entry(
+                probe,
+                pc,
+                slot,
+                EntryTerms {
+                    issue_done,
+                    fence: self.scalar_mem_fence,
+                    barrier: 0.0,
+                    chain0,
+                    pre_pair,
+                    entry0,
+                },
+            );
+        }
 
+        let lane = lane_of(slot);
         let mut entry;
         let mut first_entry = 0.0;
         let mut prev = f64::NEG_INFINITY;
@@ -794,10 +1085,23 @@ impl Cpu {
             let earliest = if e == 0 {
                 entry0
             } else {
-                (prev + timing.z).max(self.vread_until[d][e])
+                let ideal = prev + timing.z;
+                let t = ideal.max(self.vread_until[d][e]);
+                if P::ENABLED {
+                    probe.stall(lane, StallCause::ChainWait, t - ideal, pc);
+                }
+                t
             };
             let word = self.element_addr(addr, e);
+            let before = if P::ENABLED {
+                self.mem.wait_breakdown()
+            } else {
+                WaitBreakdown::default()
+            };
             let (granted, value) = self.mem.read(word, earliest);
+            if P::ENABLED {
+                Self::attribute_mem(probe, lane, pc, before, self.mem.wait_breakdown());
+            }
             entry = granted;
             if e == 0 {
                 first_entry = entry;
@@ -809,8 +1113,13 @@ impl Cpu {
         }
         let last_entry = prev;
         let last_result = last_entry + timing.y;
+        if P::ENABLED {
+            probe.busy(lane, timing.z * vl as f64, pc);
+            self.acct[slot] = last_entry + timing.z;
+        }
         self.stats.elements[slot] += vl as u64;
         self.vector_retire(
+            pc,
             ins,
             pipe,
             timing,
@@ -824,28 +1133,52 @@ impl Cpu {
         );
     }
 
-    fn vector_store(&mut self, ins: &Instruction, src: VReg, addr: MemRef) {
+    fn vector_store<P: Probe>(
+        &mut self,
+        probe: &mut P,
+        pc: usize,
+        ins: &Instruction,
+        src: VReg,
+        addr: MemRef,
+    ) {
         let vl = self.vl as usize;
         if vl == 0 {
-            self.issue_scalar();
+            self.issue_scalar(probe, pc);
             return;
         }
         let pipe = Pipe::LoadStore;
         let timing = self.timing_of(ins);
         let base_idx = usize::from(addr.base.index());
-        self.clock = self.clock.max(self.a_ready[base_idx]);
+        self.scalar_wait(probe, pc, self.a_ready[base_idx]);
         let issue_start = self.clock;
-        let issue_done = self.vector_issue(pipe, timing.x);
+        let issue_done = self.vector_issue(probe, pc, pipe, timing.x);
         let slot = pipe_slot(pipe);
         let srcop = VOperand::V(src);
         let barrier = self.no_chain_barrier(&[srcop]);
-        let mut entry0 = issue_done
+        let chain0 = self.operand_ready(srcop, 0);
+        let pre_pair = issue_done
             .max(self.pipes[slot].next_entry)
             .max(self.scalar_mem_fence)
             .max(barrier)
-            .max(self.operand_ready(srcop, 0));
-        entry0 = self.pair_admit(ins, entry0, timing.z * vl as f64);
+            .max(chain0);
+        let entry0 = self.pair_admit(ins, pre_pair, timing.z * vl as f64);
+        if P::ENABLED {
+            self.attribute_entry(
+                probe,
+                pc,
+                slot,
+                EntryTerms {
+                    issue_done,
+                    fence: self.scalar_mem_fence,
+                    barrier,
+                    chain0,
+                    pre_pair,
+                    entry0,
+                },
+            );
+        }
 
+        let lane = lane_of(slot);
         let values = self.vdata[usize::from(src.index())];
         let mut first_entry = 0.0;
         let mut prev = f64::NEG_INFINITY;
@@ -853,11 +1186,24 @@ impl Cpu {
             let earliest = if e == 0 {
                 entry0
             } else {
-                (prev + timing.z).max(self.operand_ready(srcop, e))
+                let ideal = prev + timing.z;
+                let t = ideal.max(self.operand_ready(srcop, e));
+                if P::ENABLED {
+                    probe.stall(lane, StallCause::ChainWait, t - ideal, pc);
+                }
+                t
             };
             self.mark_read(srcop, e, earliest);
             let word = self.element_addr(addr, e);
+            let before = if P::ENABLED {
+                self.mem.wait_breakdown()
+            } else {
+                WaitBreakdown::default()
+            };
             let granted = self.mem.write(word, value, earliest);
+            if P::ENABLED {
+                Self::attribute_mem(probe, lane, pc, before, self.mem.wait_breakdown());
+            }
             self.cache.invalidate(word);
             if e == 0 {
                 first_entry = granted;
@@ -866,8 +1212,13 @@ impl Cpu {
         }
         let last_entry = prev;
         let last_result = last_entry + timing.y;
+        if P::ENABLED {
+            probe.busy(lane, timing.z * vl as f64, pc);
+            self.acct[slot] = last_entry + timing.z;
+        }
         self.stats.elements[slot] += vl as u64;
         self.vector_retire(
+            pc,
             ins,
             pipe,
             timing,
@@ -889,38 +1240,122 @@ impl Cpu {
         Ok((base / WORD_BYTES as i64) as u64)
     }
 
-    fn scalar_load(&mut self, addr: MemRef, dst: ScalarReg) -> Result<(), SimError> {
+    /// Opens the scalar-memory lane's account for an access starting at
+    /// `start`: idle until the issue clock, then the wait for the shared
+    /// memory port.
+    fn scalar_mem_open<P: Probe>(&mut self, probe: &mut P, pc: usize, start: f64) {
+        let run = self.acct[Lane::ScalarMem as usize];
+        probe.idle(Lane::ScalarMem, (self.clock - run).max(0.0));
+        let run = run.max(self.clock);
+        probe.stall(
+            Lane::ScalarMem,
+            StallCause::MemPortConflict,
+            (start - run).max(0.0),
+            pc,
+        );
+    }
+
+    /// Closes the scalar-memory lane's account for an access that ran
+    /// `start..done`: the memory-system wait split by cause, the cache
+    /// hit latency as busy time, and whatever remains (the miss penalty,
+    /// if any) as a scalar-cache miss.
+    fn scalar_mem_close<P: Probe>(
+        &mut self,
+        probe: &mut P,
+        pc: usize,
+        before: WaitBreakdown,
+        start: f64,
+        done: f64,
+    ) {
+        let after = self.mem.wait_breakdown();
+        Self::attribute_mem(probe, Lane::ScalarMem, pc, before, after);
+        let mem_wait = after.total() - before.total();
+        let hit = self.config.cache.hit_latency as f64;
+        probe.busy(Lane::ScalarMem, hit, pc);
+        probe.stall(
+            Lane::ScalarMem,
+            StallCause::ScalarCacheMiss,
+            (done - start) - mem_wait - hit,
+            pc,
+        );
+        self.acct[Lane::ScalarMem as usize] = done;
+    }
+
+    /// Raises the load/store pipe's fence after a scalar access,
+    /// remembering the raise so the next vector memory instruction can
+    /// attribute its wait to the shared port.
+    fn fence_vector_stream(&mut self, done: f64) {
+        self.scalar_mem_fence = self.scalar_mem_fence.max(done);
+        let slot = pipe_slot(Pipe::LoadStore);
+        let p = &mut self.pipes[slot];
+        if done > p.next_entry {
+            self.credits[slot].fence += done - p.next_entry;
+            p.next_entry = done;
+        }
+    }
+
+    fn scalar_load<P: Probe>(
+        &mut self,
+        probe: &mut P,
+        pc: usize,
+        addr: MemRef,
+        dst: ScalarReg,
+    ) -> Result<(), SimError> {
         let base_idx = usize::from(addr.base.index());
-        self.clock = self.clock.max(self.a_ready[base_idx]);
-        self.issue_scalar();
+        self.scalar_wait(probe, pc, self.a_ready[base_idx]);
+        self.issue_scalar(probe, pc);
         let word = self.scalar_addr(addr)?;
         // The single memory port: the scalar access waits for the vector
         // memory stream scheduled so far, and fences later vector memory
         // instructions — this is what splits chimes (§3.3).
-        let start = self.clock.max(self.pipes[pipe_slot(Pipe::LoadStore)].next_entry);
+        let start = self
+            .clock
+            .max(self.pipes[pipe_slot(Pipe::LoadStore)].next_entry);
+        let before = if P::ENABLED {
+            self.scalar_mem_open(probe, pc, start);
+            self.mem.wait_breakdown()
+        } else {
+            WaitBreakdown::default()
+        };
         let (done, value) = self.cache.read(&mut self.mem, word, start);
-        self.scalar_mem_fence = self.scalar_mem_fence.max(done);
-        let p = &mut self.pipes[pipe_slot(Pipe::LoadStore)];
-        p.next_entry = p.next_entry.max(done);
+        if P::ENABLED {
+            self.scalar_mem_close(probe, pc, before, start, done);
+        }
+        self.fence_vector_stream(done);
         self.write_scalar_raw(dst, encode_loaded(dst, value), done);
         Ok(())
     }
 
-    fn scalar_store(&mut self, src: ScalarReg, addr: MemRef) -> Result<(), SimError> {
+    fn scalar_store<P: Probe>(
+        &mut self,
+        probe: &mut P,
+        pc: usize,
+        src: ScalarReg,
+        addr: MemRef,
+    ) -> Result<(), SimError> {
         let base_idx = usize::from(addr.base.index());
         let (bits, src_ready) = self.read_scalar_raw(src);
-        self.clock = self.clock.max(self.a_ready[base_idx]).max(src_ready);
-        self.issue_scalar();
+        self.scalar_wait(probe, pc, self.a_ready[base_idx].max(src_ready));
+        self.issue_scalar(probe, pc);
         let word = self.scalar_addr(addr)?;
         let value = match src {
             ScalarReg::S(_) => f64::from_bits(bits),
             ScalarReg::A(_) => bits as i64 as f64,
         };
-        let start = self.clock.max(self.pipes[pipe_slot(Pipe::LoadStore)].next_entry);
+        let start = self
+            .clock
+            .max(self.pipes[pipe_slot(Pipe::LoadStore)].next_entry);
+        let before = if P::ENABLED {
+            self.scalar_mem_open(probe, pc, start);
+            self.mem.wait_breakdown()
+        } else {
+            WaitBreakdown::default()
+        };
         let done = self.cache.write(&mut self.mem, word, value, start);
-        self.scalar_mem_fence = self.scalar_mem_fence.max(done);
-        let p = &mut self.pipes[pipe_slot(Pipe::LoadStore)];
-        p.next_entry = p.next_entry.max(done);
+        if P::ENABLED {
+            self.scalar_mem_close(probe, pc, before, start, done);
+        }
+        self.fence_vector_stream(done);
         self.end = self.end.max(done);
         Ok(())
     }
@@ -1333,6 +1768,144 @@ mod tests {
     }
 
     #[test]
+    fn probed_run_matches_unprobed_and_partitions_wallclock() {
+        use c240_obs::CounterProbe;
+        let p = lfk1_program(10);
+        let setup = |cpu: &mut Cpu| {
+            cpu.set_areg(5, 0);
+            cpu.set_sreg_fp(1, 2.0);
+            cpu.set_sreg_fp(3, 3.0);
+            cpu.set_sreg_fp(7, 4.0);
+            cpu.set_sreg_int(0, 10 * 128);
+        };
+        let mut plain = Cpu::new(SimConfig::c240());
+        setup(&mut plain);
+        let base = plain.run(&p).unwrap();
+
+        let mut cpu = Cpu::new(SimConfig::c240());
+        setup(&mut cpu);
+        let mut probe = CounterProbe::new();
+        let stats = cpu.run_probed(&p, &mut probe).unwrap();
+
+        // Observation must not perturb the model.
+        assert_eq!(stats.cycles, base.cycles);
+
+        // Every lane's account partitions the wall clock exactly.
+        for (lane, acct) in probe.lanes() {
+            let accounted = acct.accounted();
+            assert!(
+                (accounted - stats.cycles).abs() < 1e-6 * stats.cycles.max(1.0),
+                "lane {lane}: accounted {accounted} != cycles {}",
+                stats.cycles
+            );
+        }
+
+        // The memory-wait causes seen by the probe equal the memory
+        // system's own breakdown (vector lanes only touch vector memory
+        // here; LFK1 has no scalar memory traffic in the loop).
+        let totals = probe.totals();
+        assert!(
+            (totals.memory_wait() - stats.memory_wait_cycles).abs() < 1e-9,
+            "probe memory wait {} vs stats {}",
+            totals.memory_wait(),
+            stats.memory_wait_cycles
+        );
+        assert!(
+            (stats.memory_waits.total() - stats.memory_wait_cycles).abs() < 1e-12,
+            "breakdown total {} vs wait {}",
+            stats.memory_waits.total(),
+            stats.memory_wait_cycles
+        );
+
+        // LFK1 runs chained chimes: refresh and tailgate bubbles must
+        // both show up in the attribution.
+        assert!(totals.get(StallCause::Refresh) > 0.0);
+        assert!(totals.get(StallCause::TailgateBubble) > 0.0);
+    }
+
+    #[test]
+    fn trace_events_carry_their_pc() {
+        let mut b = ProgramBuilder::new();
+        b.set_vl_imm(16);
+        b.vload("a0", 0, "v0");
+        b.vadd("v0", "v0", "v1");
+        b.halt();
+        let p = b.build().unwrap();
+        let mut cpu = Cpu::new(quiet_config().with_trace());
+        cpu.run(&p).unwrap();
+        let pcs: Vec<usize> = cpu.trace().events().iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![1, 2]);
+    }
+
+    #[test]
+    fn trace_respects_configured_cap() {
+        let mut b = ProgramBuilder::new();
+        b.set_vl_imm(8);
+        b.mov_int(6, "s0");
+        b.label("L");
+        b.vadd("v0", "v0", "v1");
+        b.int_op_imm("sub", 1, "s0");
+        b.cmp_imm("lt", 0, "s0");
+        b.branch_true("L");
+        b.halt();
+        let p = b.build().unwrap();
+        let mut cpu = Cpu::new(quiet_config().with_trace().with_trace_cap(2));
+        cpu.run(&p).unwrap();
+        assert_eq!(cpu.trace().events().len(), 2);
+        assert_eq!(cpu.trace().dropped(), 4);
+    }
+
+    #[test]
+    fn ablations_zero_their_stall_category() {
+        use c240_obs::CounterProbe;
+        let p = lfk1_program(4);
+        let run_with = |config: SimConfig| {
+            let mut cpu = Cpu::new(config);
+            cpu.set_areg(5, 0);
+            cpu.set_sreg_fp(1, 2.0);
+            cpu.set_sreg_fp(3, 3.0);
+            cpu.set_sreg_fp(7, 4.0);
+            cpu.set_sreg_int(0, 4 * 128);
+            let mut probe = CounterProbe::new();
+            cpu.run_probed(&p, &mut probe).unwrap();
+            probe.totals()
+        };
+        let no_refresh = run_with(SimConfig::c240().without_refresh());
+        assert_eq!(no_refresh.get(StallCause::Refresh), 0.0);
+        let no_bubbles = run_with(SimConfig::c240().without_bubbles());
+        assert_eq!(no_bubbles.get(StallCause::TailgateBubble), 0.0);
+        // The full machine shows both.
+        let full = run_with(SimConfig::c240());
+        assert!(full.get(StallCause::Refresh) > 0.0);
+        assert!(full.get(StallCause::TailgateBubble) > 0.0);
+    }
+
+    #[test]
+    fn scalar_mem_lane_accounts_cache_misses() {
+        use c240_obs::CounterProbe;
+        let mut b = ProgramBuilder::new();
+        b.sload("a0", 0, "s1"); // cold: miss
+        b.sload("a0", 0, "s2"); // warm: hit
+        b.halt();
+        let p = b.build().unwrap();
+        let mut cpu = Cpu::new(quiet_config());
+        let mut probe = CounterProbe::new();
+        let stats = cpu.run_probed(&p, &mut probe).unwrap();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        let acct = probe.lane(Lane::ScalarMem);
+        let miss_penalty = cpu.config().cache.miss_penalty as f64;
+        assert!(
+            (acct.stalls.get(StallCause::ScalarCacheMiss) - miss_penalty).abs() < 1e-9,
+            "miss penalty attribution: {}",
+            acct.stalls.get(StallCause::ScalarCacheMiss)
+        );
+        // Two accesses each pay the hit latency as busy time.
+        let hit = cpu.config().cache.hit_latency as f64;
+        assert!((acct.busy - 2.0 * hit).abs() < 1e-9, "busy {}", acct.busy);
+    }
+
+    #[test]
     fn stats_count_elements_and_flops() {
         let mut b = ProgramBuilder::new();
         b.set_vl_imm(64);
@@ -1351,7 +1924,6 @@ mod tests {
         assert_eq!(stats.instructions.vector_mem, 2);
         assert_eq!(stats.instructions.vector_fp, 2);
     }
-
 }
 
 #[cfg(test)]

@@ -59,3 +59,7 @@ pub use cpu::Cpu;
 pub use error::SimError;
 pub use stats::{ClassCounts, RunStats};
 pub use trace::{Trace, TraceEvent};
+
+// Telemetry: drive [`Cpu::run_probed`] with a probe to get a per-lane
+// cycle attribution (see the `c240-obs` crate for the taxonomy).
+pub use c240_obs::{CounterProbe, Lane, LaneAccount, NoProbe, Probe, StallCause, StallCounters};

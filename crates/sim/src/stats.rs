@@ -3,6 +3,7 @@
 use std::fmt;
 
 use c240_isa::{InstrClass, Pipe, CLOCK_MHZ};
+use c240_mem::WaitBreakdown;
 
 /// Aggregate statistics of one simulated run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -21,6 +22,9 @@ pub struct RunStats {
     pub memory_accesses: u64,
     /// Cycles memory accesses spent waiting on banks/refresh/contention.
     pub memory_wait_cycles: f64,
+    /// The same wait cycles split by cause; `memory_waits.total()`
+    /// equals `memory_wait_cycles` identically.
+    pub memory_waits: WaitBreakdown,
     /// Scalar cache hits.
     pub cache_hits: u64,
     /// Scalar cache misses.
@@ -111,6 +115,11 @@ impl fmt::Display for RunStats {
         writeln!(f, "flops:            {}", self.flops)?;
         writeln!(f, "memory accesses:  {}", self.memory_accesses)?;
         writeln!(f, "memory wait:      {:.2} cycles", self.memory_wait_cycles)?;
+        writeln!(
+            f,
+            "  bank/refr/cont: {:.2} / {:.2} / {:.2}",
+            self.memory_waits.bank_busy, self.memory_waits.refresh, self.memory_waits.contention
+        )?;
         writeln!(
             f,
             "cache hit/miss:   {} / {}",

@@ -40,26 +40,63 @@ impl fmt::Display for TraceEvent {
         write!(
             f,
             "[{:>9.2} .. {:>9.2}] {:<10} issue@{:<9.2} enter@{:<9.2} {} (VL={})",
-            self.first_entry, self.last_result, self.pipe, self.issue_start, self.first_entry,
-            self.text, self.vl
+            self.first_entry,
+            self.last_result,
+            self.pipe,
+            self.issue_start,
+            self.first_entry,
+            self.text,
+            self.vl
         )
     }
 }
 
 /// A recorded pipeline trace.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The trace stores at most `cap` events (set from
+/// [`crate::SimConfig::trace_cap`]); later events are *counted* but not
+/// stored, so tracing a long run costs bounded memory while
+/// [`Trace::dropped`] reveals how much of the run the stored prefix
+/// covers.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::with_cap(usize::MAX)
+    }
 }
 
 impl Trace {
+    /// An empty trace that will keep at most `cap` events.
+    pub fn with_cap(cap: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
     pub(crate) fn push(&mut self, event: TraceEvent) {
-        self.events.push(event);
+        if self.events.len() < self.cap {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
     }
 
     /// The recorded events, in issue order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Events that occurred past the cap and were not stored.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Whether anything was recorded.
@@ -166,6 +203,17 @@ mod tests {
         let t = Trace::default();
         assert!(t.gantt(10, 1.0).contains("empty"));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn cap_bounds_storage_and_counts_drops() {
+        let mut t = Trace::with_cap(2);
+        for i in 0..5 {
+            t.push(event(i as f64 * 10.0));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[0].issue_start, 0.0);
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! ```
 
 use c240_sim::{Cpu, SimConfig};
-use macs_compiler::{
-    analyze_ma, compile, CompileOptions, Kernel, ScheduleStrategy, load, param,
-};
+use macs_compiler::{analyze_ma, compile, load, param, CompileOptions, Kernel, ScheduleStrategy};
 use macs_core::{ChimeConfig, KernelBounds};
 
 fn main() {
@@ -22,8 +20,7 @@ fn main() {
         .store(
             "y",
             2,
-            param("a")
-                * (load("x", 0) + load("x", 1) + load("x", 2) + load("x", 3) + load("x", 4)),
+            param("a") * (load("x", 0) + load("x", 1) + load("x", 2) + load("x", 3) + load("x", 4)),
         );
     let n = 5000u64;
 

@@ -24,10 +24,7 @@ fn main() {
     let program = kernel.program();
 
     println!("LFK1 on C-240 design variants (CPF):\n");
-    println!(
-        "{:<34} {:>8} {:>9}",
-        "machine", "t_MACS", "measured"
-    );
+    println!("{:<34} {:>8} {:>9}", "machine", "t_MACS", "measured");
 
     let variants: Vec<(&str, SimConfig, ChimeConfig)> = vec![
         ("C-240 (paper)", SimConfig::c240(), ChimeConfig::c240()),
@@ -51,7 +48,9 @@ fn main() {
         (
             "3 busy neighbor CPUs (mixed)",
             SimConfig {
-                mem: SimConfig::c240().mem.with_contention(ContentionConfig::mixed(3)),
+                mem: SimConfig::c240()
+                    .mem
+                    .with_contention(ContentionConfig::mixed(3)),
                 ..SimConfig::c240()
             },
             ChimeConfig::c240(),

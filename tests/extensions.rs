@@ -54,7 +54,12 @@ fn macs_d_prices_bank_conflicts() {
         &ChimeConfig::c240().with_bank_model(BankModel::c240()),
     );
     // Stride 8 on 32 banks touches 4 banks: 2 cycles/element.
-    assert!(with_d.cpl() > plain.cpl() * 1.4, "{} vs {}", with_d.cpl(), plain.cpl());
+    assert!(
+        with_d.cpl() > plain.cpl() * 1.4,
+        "{} vs {}",
+        with_d.cpl(),
+        plain.cpl()
+    );
 
     let mut cpu = Cpu::new(SimConfig::c240());
     cpu.set_areg(2, 800_000);
@@ -224,8 +229,7 @@ fn rescheduler_repairs_a_naive_compiler_schedule() {
         .store(
             "y",
             0,
-            param("a")
-                * (load("x", 0) + load("x", 1) + load("x", 2) + load("x", 3) + load("x", 4)),
+            param("a") * (load("x", 0) + load("x", 1) + load("x", 2) + load("x", 3) + load("x", 4)),
         );
     let naive = compile(
         &kernel,
@@ -272,7 +276,9 @@ fn rescheduler_repairs_a_naive_compiler_schedule() {
         }
         cpu.run(p).unwrap();
         let ybase = naive.layout.base_word("y").unwrap();
-        (0..1000u64).map(|i| cpu.mem().peek(ybase + i)).collect::<Vec<_>>()
+        (0..1000u64)
+            .map(|i| cpu.mem().peek(ybase + i))
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(&naive.program), run(&rescheduled_program));
 }

@@ -27,7 +27,9 @@ fn timing_configuration_never_changes_results() {
         SimConfig::c240().without_chaining(),
         SimConfig::c240().without_pair_constraint(),
         SimConfig {
-            mem: SimConfig::c240().mem.with_contention(ContentionConfig::mixed(3)),
+            mem: SimConfig::c240()
+                .mem
+                .with_contention(ContentionConfig::mixed(3)),
             ..SimConfig::c240()
         },
     ];
@@ -66,7 +68,9 @@ fn contention_slows_but_lockstep_slows_less() {
         ..SimConfig::c240()
     });
     let mixed = run(SimConfig {
-        mem: SimConfig::c240().mem.with_contention(ContentionConfig::mixed(3)),
+        mem: SimConfig::c240()
+            .mem
+            .with_contention(ContentionConfig::mixed(3)),
         ..SimConfig::c240()
     });
     assert!(idle < lockstep, "idle {idle} vs lockstep {lockstep}");
@@ -74,7 +78,11 @@ fn contention_slows_but_lockstep_slows_less() {
     // §4.2's rule of thumb: different programs cost roughly 20%+ on a
     // memory-bound loop; same-executable neighbors far less.
     assert!(mixed / idle > 1.15, "mixed slowdown {}", mixed / idle);
-    assert!(lockstep / idle < 1.15, "lockstep slowdown {}", lockstep / idle);
+    assert!(
+        lockstep / idle < 1.15,
+        "lockstep slowdown {}",
+        lockstep / idle
+    );
 }
 
 #[test]

@@ -98,10 +98,9 @@ fn lfk2_and_lfk6_are_the_worst_explained_kernels() {
 #[test]
 fn table4_averages_match() {
     let n = suite().rows.len() as f64;
-    let avg =
-        |f: &dyn Fn(&macs_experiments::KernelRow) -> f64|
-
-            suite().rows.iter().map(f).sum::<f64>() / n;
+    let avg = |f: &dyn Fn(&macs_experiments::KernelRow) -> f64| {
+        suite().rows.iter().map(f).sum::<f64>() / n
+    };
     let avg_ma = avg(&|r| r.analysis.bounds.t_ma_cpf());
     let avg_mac = avg(&|r| r.analysis.bounds.t_mac_cpf());
     let avg_macs = avg(&|r| r.analysis.bounds.t_macs_cpf());

@@ -1,0 +1,71 @@
+//! A tiny deterministic generator for the property tests.
+//!
+//! The build environment has no network access, so the `proptest` crate
+//! is unavailable; these tests instead draw inputs from a seeded
+//! xorshift64* generator. Each test case prints its seed on failure, so
+//! any failure is reproducible by construction.
+
+/// xorshift64* — deterministic, seedable, good enough for input fuzzing.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point and decorrelate small seeds.
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    pub fn u8(&mut self) -> u8 {
+        (self.next() >> 32) as u8
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A string of printable ASCII plus `\n` and `\t`, like the
+    /// `"[ -~\n\t]{min,max}"` proptest pattern.
+    pub fn ascii_string(&mut self, min: usize, max: usize) -> String {
+        let n = self.range_usize(min, max + 1);
+        (0..n)
+            .map(|_| match self.range_u64(0, 16) {
+                0 => '\n',
+                1 => '\t',
+                _ => (b' ' + (self.next() % 95) as u8) as char,
+            })
+            .collect()
+    }
+
+    /// A string drawn from an explicit byte alphabet.
+    pub fn string_from(&mut self, alphabet: &[u8], min: usize, max: usize) -> String {
+        let n = self.range_usize(min, max + 1);
+        (0..n)
+            .map(|_| alphabet[self.range_usize(0, alphabet.len())] as char)
+            .collect()
+    }
+}

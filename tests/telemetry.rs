@@ -1,0 +1,215 @@
+//! Integration tests for the cycle-accounting telemetry layer: the
+//! probe's wall-clock partition, the memory wait breakdown, ablation
+//! zeroing, measured-counter citations in the diagnosis, and the
+//! stability of the RunReport JSON schema.
+
+use c240_sim::{CounterProbe, Cpu, Lane, SimConfig, StallCause};
+use lfk_suite::LfkKernel;
+use macs_core::{ChimeConfig, Finding, RunReport, RUN_REPORT_SCHEMA};
+use macs_experiments::analyze_lfk;
+
+fn run_probed(config: SimConfig, kernel: &dyn LfkKernel) -> (c240_sim::RunStats, CounterProbe) {
+    let mut cpu = Cpu::new(config);
+    kernel.setup(&mut cpu);
+    let mut probe = CounterProbe::new();
+    let stats = cpu
+        .run_probed(&kernel.program(), &mut probe)
+        .unwrap_or_else(|e| panic!("LFK{} failed: {e}", kernel.id()));
+    (stats, probe)
+}
+
+/// Every lane of every kernel satisfies `busy + stalls + idle == cycles`
+/// (the telemetry layer's defining invariant), and the probe's memory
+/// wait agrees with the memory system's own counter.
+#[test]
+fn every_kernel_partitions_wall_clock() {
+    for kernel in lfk_suite::all() {
+        let (stats, probe) = run_probed(SimConfig::c240(), kernel.as_ref());
+        let cycles = stats.cycles;
+        for (lane, acct) in probe.lanes() {
+            let sum = acct.busy + acct.stalls.total() + acct.idle;
+            assert!(
+                (sum - cycles).abs() <= 1e-6 * cycles.max(1.0),
+                "LFK{} lane {lane}: busy {} + stalls {} + idle {} != cycles {cycles}",
+                kernel.id(),
+                acct.busy,
+                acct.stalls.total(),
+                acct.idle,
+            );
+            assert!(acct.busy >= 0.0 && acct.idle >= -1e-9);
+        }
+        let probe_mem = probe.totals().memory_wait();
+        assert!(
+            (probe_mem - stats.memory_wait_cycles).abs() <= 1e-6 * cycles.max(1.0),
+            "LFK{}: probe memory wait {probe_mem} != stats {}",
+            kernel.id(),
+            stats.memory_wait_cycles,
+        );
+    }
+}
+
+/// The memory system's wait breakdown is exact, not approximate:
+/// `bank_busy + refresh + contention == memory_wait_cycles` per kernel.
+#[test]
+fn memory_wait_breakdown_is_exact() {
+    for kernel in lfk_suite::all() {
+        let (stats, _) = run_probed(SimConfig::c240(), kernel.as_ref());
+        let b = stats.memory_waits;
+        assert!(
+            (b.total() - stats.memory_wait_cycles).abs() < 1e-9 * stats.cycles.max(1.0),
+            "LFK{}: {} + {} + {} != {}",
+            kernel.id(),
+            b.bank_busy,
+            b.refresh,
+            b.contention,
+            stats.memory_wait_cycles,
+        );
+    }
+}
+
+/// Turning a hardware hazard off in the machine model zeroes exactly its
+/// stall category, for every kernel.
+#[test]
+fn ablations_zero_their_stall_categories() {
+    for kernel in lfk_suite::all() {
+        let id = kernel.id();
+        let (_, p) = run_probed(SimConfig::c240().without_refresh(), kernel.as_ref());
+        assert_eq!(p.totals().get(StallCause::Refresh), 0.0, "LFK{id} refresh");
+
+        let (_, p) = run_probed(SimConfig::c240().without_bubbles(), kernel.as_ref());
+        assert_eq!(
+            p.totals().get(StallCause::TailgateBubble),
+            0.0,
+            "LFK{id} bubbles"
+        );
+
+        let (_, p) = run_probed(SimConfig::c240().without_pair_constraint(), kernel.as_ref());
+        assert_eq!(
+            p.totals().get(StallCause::PairConflict),
+            0.0,
+            "LFK{id} pair"
+        );
+    }
+}
+
+/// Disabling chaining converts chain slip into full operand barriers on
+/// a chain-dominated kernel (LFK1), and the partition invariant holds
+/// under every ablation.
+#[test]
+fn chaining_ablation_moves_chain_wait_to_barriers() {
+    let k1 = lfk_suite::by_id(1).expect("LFK1 exists");
+    let (full_stats, full) = run_probed(SimConfig::c240(), k1.as_ref());
+    let (nochain_stats, nochain) = run_probed(SimConfig::c240().without_chaining(), k1.as_ref());
+
+    let full_chain = full.totals().get(StallCause::ChainWait);
+    assert!(
+        full_chain > 0.0,
+        "LFK1 with chaining should show chain slip"
+    );
+    assert_eq!(full.totals().get(StallCause::OperandBarrier), 0.0);
+
+    assert!(
+        nochain.totals().get(StallCause::OperandBarrier) > 0.0,
+        "without chaining, operands wait at a full barrier"
+    );
+    assert!(nochain_stats.cycles > full_stats.cycles);
+
+    for (stats, probe) in [(&full_stats, &full), (&nochain_stats, &nochain)] {
+        for (lane, acct) in probe.lanes() {
+            let sum = acct.accounted();
+            assert!(
+                (sum - stats.cycles).abs() <= 1e-6 * stats.cycles,
+                "lane {lane}: {sum} != {}",
+                stats.cycles
+            );
+        }
+    }
+}
+
+/// The §4.4 diagnosis cites measured counters: the memory finding's
+/// breakdown comes from the memory system and sums to its total.
+#[test]
+fn findings_cite_measured_counters() {
+    let k1 = lfk_suite::by_id(1).expect("LFK1 exists");
+    let analysis = analyze_lfk(k1.as_ref(), &SimConfig::c240(), &ChimeConfig::c240());
+    let findings = analysis.findings();
+    let mem = findings.iter().find_map(|f| match f {
+        Finding::MemoryBottleneck {
+            wait_cpl,
+            bank_busy_cpl,
+            refresh_cpl,
+            contention_cpl,
+        } => Some((*wait_cpl, *bank_busy_cpl, *refresh_cpl, *contention_cpl)),
+        _ => None,
+    });
+    let (wait, bank, refresh, contention) = mem.expect("LFK1 reports its memory waits");
+    assert!((bank + refresh + contention - wait).abs() < 1e-9);
+    assert!(refresh > 0.0, "the C-240 refreshes during LFK1");
+}
+
+/// Every kernel's RunReport carries the full stable schema: all
+/// sections, every lane, every stall cause, and the lane partition
+/// rendered into JSON still sums to the run's cycles.
+#[test]
+fn run_reports_are_schema_stable_for_every_kernel() {
+    let sections = [
+        "schema",
+        "kernel",
+        "run",
+        "memory",
+        "bounds",
+        "ax",
+        "lanes",
+        "stall_totals",
+        "stall_total_cycles",
+        "hottest_pcs",
+        "findings",
+    ];
+    for kernel in lfk_suite::all() {
+        let analysis = analyze_lfk(kernel.as_ref(), &SimConfig::c240(), &ChimeConfig::c240());
+        let report = RunReport::new(kernel.id(), analysis);
+        let json = report.to_json();
+        assert_eq!(
+            json.get("schema").and_then(|s| s.as_str()),
+            Some(RUN_REPORT_SCHEMA)
+        );
+        for section in sections {
+            assert!(
+                json.get(section).is_some(),
+                "LFK{} missing `{section}`",
+                kernel.id()
+            );
+        }
+        let cycles = json
+            .get("run")
+            .and_then(|r| r.get("cycles"))
+            .and_then(|c| c.as_f64())
+            .expect("run.cycles");
+        let lanes = json.get("lanes").expect("lanes");
+        for lane in Lane::ALL {
+            let entry = lanes
+                .get(lane.key())
+                .unwrap_or_else(|| panic!("LFK{} missing lane {lane}", kernel.id()));
+            let busy = entry.get("busy").and_then(|v| v.as_f64()).unwrap();
+            let stalled = entry.get("stalled").and_then(|v| v.as_f64()).unwrap();
+            let idle = entry.get("idle").and_then(|v| v.as_f64()).unwrap();
+            assert!(
+                (busy + stalled + idle - cycles).abs() <= 1e-6 * cycles.max(1.0),
+                "LFK{} lane {lane} partition broken in JSON",
+                kernel.id()
+            );
+            let stalls = entry.get("stalls").expect("stalls");
+            for cause in StallCause::ALL {
+                assert!(
+                    stalls.get(cause.key()).is_some(),
+                    "LFK{} lane {lane} missing cause {cause}",
+                    kernel.id()
+                );
+            }
+        }
+        // CSV carries the same matrix.
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), Lane::COUNT + 1);
+        assert!(csv.starts_with("lane,busy,idle,"));
+    }
+}
