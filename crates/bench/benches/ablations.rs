@@ -1,6 +1,11 @@
 //! Ablations of the machine-model design choices the paper calls out:
 //! each group measures a workload's simulated cycles (reported via
 //! "cycles" prints) while timing the simulation itself.
+//!
+//! The pre-timing cycle computations of each sweep are independent
+//! model evaluations and run on the [`macs_core::pool`]; the `Bench`
+//! wall-clock measurements themselves stay strictly serial so that
+//! concurrent workers never distort a timed body.
 
 use std::hint::black_box;
 
@@ -25,8 +30,7 @@ fn run_cycles(config: &SimConfig, program: &c240_isa::Program) -> f64 {
 /// on and off.
 fn bench_bubbles_refresh() {
     let program = triad_loop(40, 128);
-    let mut g = Bench::group("bubbles_refresh");
-    for (name, config) in [
+    let points = vec![
         ("c240", SimConfig::c240()),
         ("no_bubbles", SimConfig::c240().without_bubbles()),
         ("no_refresh", SimConfig::c240().without_refresh()),
@@ -34,8 +38,11 @@ fn bench_bubbles_refresh() {
             "neither",
             SimConfig::c240().without_bubbles().without_refresh(),
         ),
-    ] {
-        let cycles = run_cycles(&config, &program);
+    ];
+    let cycles =
+        macs_core::parallel_map(points.clone(), |(_, config)| run_cycles(&config, &program));
+    let mut g = Bench::group("bubbles_refresh");
+    for ((name, config), cycles) in points.into_iter().zip(cycles) {
         println!("bubbles_refresh/{name}: {cycles:.1} simulated cycles");
         g.bench(name, || black_box(run_cycles(&config, &program)));
     }
@@ -44,12 +51,14 @@ fn bench_bubbles_refresh() {
 /// Chaining on vs off (§3.3: 162 vs 422 cycles for one chime).
 fn bench_chaining() {
     let program = triad_loop(40, 128);
-    let mut g = Bench::group("chaining");
-    for (name, config) in [
+    let points = vec![
         ("chained", SimConfig::c240()),
         ("cray2_style", SimConfig::c240().without_chaining()),
-    ] {
-        let cycles = run_cycles(&config, &program);
+    ];
+    let cycles =
+        macs_core::parallel_map(points.clone(), |(_, config)| run_cycles(&config, &program));
+    let mut g = Bench::group("chaining");
+    for ((name, config), cycles) in points.into_iter().zip(cycles) {
         println!("chaining/{name}: {cycles:.1} simulated cycles");
         g.bench(name, || black_box(run_cycles(&config, &program)));
     }
@@ -58,10 +67,14 @@ fn bench_chaining() {
 /// Stride sweep: bank conflicts emerge at power-of-two strides (§3.1's
 /// "fifth degree of freedom, D").
 fn bench_strides() {
-    let mut g = Bench::group("stride");
-    for stride in [1i64, 2, 5, 8, 16, 25, 32] {
+    let strides = vec![1i64, 2, 5, 8, 16, 25, 32];
+    let points = macs_core::parallel_map(strides, |stride| {
         let program = memory_loop(2, 20, 128, stride);
         let cycles = run_cycles(&SimConfig::c240(), &program);
+        (stride, program, cycles)
+    });
+    let mut g = Bench::group("stride");
+    for (stride, program, cycles) in points {
         println!("stride/{stride}: {cycles:.1} simulated cycles");
         g.bench(&stride.to_string(), || {
             black_box(run_cycles(&SimConfig::c240(), &program))
@@ -72,10 +85,13 @@ fn bench_strides() {
 /// Vector-length sweep: short vectors lose the steady state (§3.2, the
 /// LFK 2/6 story).
 fn bench_vector_length() {
-    let mut g = Bench::group("vector_length");
-    for vl in [8u32, 16, 32, 64, 128] {
+    let points = macs_core::parallel_map(vec![8u32, 16, 32, 64, 128], |vl| {
         let program = triad_loop(40, vl);
         let cycles = run_cycles(&SimConfig::c240(), &program);
+        (vl, program, cycles)
+    });
+    let mut g = Bench::group("vector_length");
+    for (vl, program, cycles) in points {
         let per_elem = cycles / (40.0 * f64::from(vl));
         println!("vector_length/{vl}: {per_elem:.3} cycles/element");
         g.bench(&vl.to_string(), || {
@@ -86,18 +102,22 @@ fn bench_vector_length() {
 
 /// Contention sweep (Figure 3 / §4.2's rules of thumb).
 fn bench_contention() {
-    let mut g = Bench::group("contention");
-    for (name, contention) in [
+    let settings = vec![
         ("idle", ContentionConfig::idle()),
         ("lockstep3", ContentionConfig::lockstep(3)),
         ("mixed3", ContentionConfig::mixed(3)),
-    ] {
+    ];
+    let points = macs_core::parallel_map(settings, |(name, contention)| {
         let config = SimConfig {
             mem: SimConfig::c240().mem.with_contention(contention),
             ..SimConfig::c240()
         };
         let program = memory_loop(2, 40, 128, 1);
         let cycles = run_cycles(&config, &program);
+        (name, config, program, cycles)
+    });
+    let mut g = Bench::group("contention");
+    for (name, config, program, cycles) in points {
         println!("contention/{name}: {cycles:.1} simulated cycles");
         g.bench(name, || black_box(run_cycles(&config, &program)));
     }
@@ -105,14 +125,17 @@ fn bench_contention() {
 
 /// Bank-count sweep.
 fn bench_banks() {
-    let mut g = Bench::group("banks");
-    for banks in [8u32, 16, 32, 64] {
+    let points = macs_core::parallel_map(vec![8u32, 16, 32, 64], |banks| {
         let config = SimConfig {
             mem: SimConfig::c240().mem.with_banks(banks),
             ..SimConfig::c240()
         };
         let program = memory_loop(2, 20, 128, 8);
         let cycles = run_cycles(&config, &program);
+        (banks, config, program, cycles)
+    });
+    let mut g = Bench::group("banks");
+    for (banks, config, program, cycles) in points {
         println!("banks/{banks} (stride 8): {cycles:.1} simulated cycles");
         g.bench(&banks.to_string(), || {
             black_box(run_cycles(&config, &program))

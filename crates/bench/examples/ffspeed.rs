@@ -1,0 +1,59 @@
+//! Quick interactive check of the steady-state fast-forward: runs every
+//! LFK kernel at `scale`× its default pass count (first CLI argument,
+//! default 100) with fast-forward on and off, asserts the two runs'
+//! statistics are identical, and prints the per-kernel and suite
+//! speedups plus the fraction of instructions warped over.
+//!
+//! ```text
+//! cargo run --release -p macs-bench --example ffspeed -- 1000
+//! ```
+//!
+//! The committed perf trajectory uses `macs-bench` (which records the
+//! same measurement in `BENCH_<date>.json`); this example exists for
+//! fast iteration on the detector itself.
+
+use std::time::Instant;
+
+use c240_sim::{Cpu, SimConfig};
+
+fn main() {
+    let scale: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let mut tot_ff = 0.0;
+    let mut tot_ex = 0.0;
+    for k in lfk_suite::all() {
+        let passes = k.passes() * scale;
+        let program = k.program_with_passes(passes);
+        let run = |cfg: SimConfig| {
+            let mut cpu = Cpu::new(cfg);
+            k.setup(&mut cpu);
+            let t0 = Instant::now();
+            let stats = cpu.run(&program).expect("scaled kernel simulates cleanly");
+            (
+                t0.elapsed().as_secs_f64(),
+                stats,
+                cpu.fast_forwarded_instructions(),
+            )
+        };
+        let (t_ff, s_ff, skipped) = run(SimConfig::c240());
+        let (t_ex, s_ex, _) = run(SimConfig::c240().without_fast_forward());
+        assert_eq!(s_ff, s_ex, "LFK{} diverged", k.id());
+        tot_ff += t_ff;
+        tot_ex += t_ex;
+        println!(
+            "LFK{:2} passes {:6}: ff {:7.3}s exact {:7.3}s speedup {:5.1}x warped {:.1}%",
+            k.id(),
+            passes,
+            t_ff,
+            t_ex,
+            t_ex / t_ff,
+            100.0 * skipped as f64 / s_ff.instructions.total() as f64
+        );
+    }
+    println!(
+        "suite: ff {tot_ff:.2}s exact {tot_ex:.2}s speedup {:.1}x",
+        tot_ex / tot_ff
+    );
+}

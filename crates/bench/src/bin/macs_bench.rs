@@ -4,17 +4,32 @@
 //! macs-bench [OUT_DIR]        (default: results)
 //! ```
 //!
-//! Runs every LFK kernel once under the counting probe, times the LFK1
-//! simulation with and without the probe (the zero-overhead check for
-//! the monomorphized `Probe` plumbing), and writes
-//! `OUT_DIR/BENCH_<date>.json`: per-kernel cycles/CPL/CPF, the stall
-//! breakdown in CPL units, and the measured probe overhead. Committing
-//! one such file per working day gives a performance trajectory that is
-//! diffable across commits.
+//! Runs every LFK kernel once under the counting probe (in parallel on
+//! the [`macs_core::pool`]), times the LFK1 simulation with and without
+//! the probe (the zero-overhead check for the monomorphized `Probe`
+//! plumbing), measures the steady-state fast-forward against exact
+//! element stepping at paper-scale pass counts, and writes
+//! `OUT_DIR/BENCH_<date>.json`: per-kernel cycles/CPL/CPF plus wall
+//! time, the stall breakdown in CPL units, the probe overhead, and the
+//! fast-forward speedup. Committing one such file per working day gives
+//! a performance trajectory that is diffable across commits.
+//!
+//! Environment:
+//!
+//! * `MACS_THREADS` — pool width (default: all cores).
+//! * `MACS_FF=0` — disable fast-forward everywhere. CI's exactness
+//!   smoke runs the harness twice (with and without) and diffs the two
+//!   JSON artifacts modulo wall-clock fields: every simulated quantity
+//!   must be byte-identical.
+//! * `MACS_BENCH_FF_SCALE` — pass multiplier for the paper-scale
+//!   fast-forward section (default 1000).
+//!
+//! The binary exits nonzero if any kernel's fast-forward run diverges
+//! from its element-stepped run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use c240_obs::json::Json;
 use c240_obs::{CounterProbe, StallCause};
@@ -43,42 +58,109 @@ fn civil_date_utc() -> (i64, u32, u32) {
     (if m <= 2 { y + 1 } else { y }, m, d)
 }
 
+/// The harness's simulator configuration: the standard C-240, with
+/// fast-forward switched off when `MACS_FF=0` (the CI exactness smoke).
+fn harness_config() -> SimConfig {
+    let cfg = SimConfig::c240();
+    if std::env::var("MACS_FF").as_deref() == Ok("0") {
+        cfg.without_fast_forward()
+    } else {
+        cfg
+    }
+}
+
+/// One probed run of a kernel's default workload: the per-kernel JSON
+/// row (cycles, CPL/CPF, stall breakdown, wall time).
+fn kernel_row(kernel: &dyn lfk_suite::LfkKernel, sim: &SimConfig) -> Result<Json, String> {
+    let mut cpu = Cpu::new(sim.clone());
+    kernel.setup(&mut cpu);
+    let mut probe = CounterProbe::new();
+    let t0 = Instant::now();
+    let stats = cpu
+        .run_probed(&kernel.program(), &mut probe)
+        .map_err(|e| format!("LFK{}: simulation failed: {e}", kernel.id()))?;
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let iters = kernel.iterations().max(1) as f64;
+    let cpl = stats.cpl(kernel.iterations());
+    let totals = probe.totals();
+    let mut stall_cpl = Json::obj();
+    for cause in StallCause::ALL {
+        stall_cpl = stall_cpl.field(cause.key(), totals.get(cause) / iters);
+    }
+    Ok(Json::obj()
+        .field("id", kernel.id())
+        .field("name", kernel.name())
+        .field("cycles", stats.cycles)
+        .field("iterations", kernel.iterations())
+        .field("cpl", cpl)
+        .field("cpf", cpl / f64::from(kernel.flops_total().max(1)))
+        .field("memory_wait_cpl", stats.memory_wait_cycles / iters)
+        .field("stall_cpl", stall_cpl)
+        .field("stall_total_cpl", totals.total() / iters)
+        .field("wall_ns", wall_ns))
+}
+
+/// One kernel's paper-scale fast-forward measurement: the same scaled
+/// workload simulated with the harness configuration (fast-forward on,
+/// unless `MACS_FF=0`) and with exact element stepping; the two runs
+/// must produce identical statistics.
+fn ff_row(kernel: &dyn lfk_suite::LfkKernel, sim: &SimConfig, scale: i64) -> Result<Json, String> {
+    let passes = kernel.passes() * scale;
+    let program = kernel.program_with_passes(passes);
+    let run = |cfg: SimConfig| {
+        let mut cpu = Cpu::new(cfg);
+        kernel.setup(&mut cpu);
+        let t0 = Instant::now();
+        let stats = cpu
+            .run(&program)
+            .map_err(|e| format!("LFK{}: scaled simulation failed: {e}", kernel.id()))?;
+        Ok::<_, String>((
+            t0.elapsed().as_nanos() as u64,
+            stats,
+            cpu.fast_forwarded_instructions(),
+        ))
+    };
+    let (ff_ns, ff_stats, skipped) = run(sim.clone())?;
+    let (exact_ns, exact_stats, _) = run(sim.clone().without_fast_forward())?;
+    if ff_stats != exact_stats {
+        return Err(format!(
+            "LFK{}: fast-forward diverged from exact element stepping at {passes} passes",
+            kernel.id()
+        ));
+    }
+    Ok(Json::obj()
+        .field("id", kernel.id())
+        .field("passes", passes as u64)
+        .field("cycles", ff_stats.cycles)
+        .field("instructions", ff_stats.instructions.total())
+        .field(
+            "warped_pct",
+            100.0 * skipped as f64 / ff_stats.instructions.total().max(1) as f64,
+        )
+        .field("fast_forward_wall_ns", ff_ns)
+        .field("exact_wall_ns", exact_ns)
+        .field("speedup", exact_ns as f64 / ff_ns.max(1) as f64))
+}
+
 fn main() -> ExitCode {
     let out_dir = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| "results".into()));
-    let sim = SimConfig::c240();
+    let sim = harness_config();
+    let threads = macs_core::threads();
 
-    eprintln!("running the ten-kernel suite under the counting probe...");
+    eprintln!("running the ten-kernel suite under the counting probe ({threads} threads)...");
+    let suite_t0 = Instant::now();
+    let rows =
+        macs_core::parallel_map(lfk_suite::all(), |kernel| kernel_row(kernel.as_ref(), &sim));
+    let suite_wall_ns = suite_t0.elapsed().as_nanos() as u64;
     let mut kernels: Vec<Json> = Vec::new();
-    for kernel in lfk_suite::all() {
-        let mut cpu = Cpu::new(sim.clone());
-        kernel.setup(&mut cpu);
-        let mut probe = CounterProbe::new();
-        let stats = match cpu.run_probed(&kernel.program(), &mut probe) {
-            Ok(s) => s,
+    for row in rows {
+        match row {
+            Ok(j) => kernels.push(j),
             Err(e) => {
-                eprintln!("LFK{}: simulation failed: {e}", kernel.id());
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
-        };
-        let iters = kernel.iterations().max(1) as f64;
-        let cpl = stats.cpl(kernel.iterations());
-        let totals = probe.totals();
-        let mut stall_cpl = Json::obj();
-        for cause in StallCause::ALL {
-            stall_cpl = stall_cpl.field(cause.key(), totals.get(cause) / iters);
         }
-        kernels.push(
-            Json::obj()
-                .field("id", kernel.id())
-                .field("name", kernel.name())
-                .field("cycles", stats.cycles)
-                .field("iterations", kernel.iterations())
-                .field("cpl", cpl)
-                .field("cpf", cpl / f64::from(kernel.flops_total().max(1)))
-                .field("memory_wait_cpl", stats.memory_wait_cycles / iters)
-                .field("stall_cpl", stall_cpl)
-                .field("stall_total_cpl", totals.total() / iters),
-        );
     }
 
     // The no-op probe must cost nothing: time the same LFK1 simulation
@@ -107,11 +189,48 @@ fn main() -> ExitCode {
     let relative = probed.median_ns / base.median_ns - 1.0;
     eprintln!("probe overhead: {:+.1}%", 100.0 * relative);
 
+    // Paper-scale fast-forward vs exact element stepping. Wall times are
+    // summed per kernel (a serial-equivalent measure independent of the
+    // pool width); the runs themselves go through the pool.
+    let scale: i64 = std::env::var("MACS_BENCH_FF_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1000);
+    eprintln!("measuring fast-forward vs exact stepping at {scale}x passes...");
+    let ff_rows = macs_core::parallel_map(lfk_suite::all(), |kernel| {
+        ff_row(kernel.as_ref(), &sim, scale)
+    });
+    let mut ff_kernels: Vec<Json> = Vec::new();
+    let (mut suite_ff_ns, mut suite_exact_ns) = (0u64, 0u64);
+    for row in ff_rows {
+        match row {
+            Ok(j) => {
+                let ns = |key: &str| j.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+                suite_ff_ns += ns("fast_forward_wall_ns");
+                suite_exact_ns += ns("exact_wall_ns");
+                ff_kernels.push(j);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let suite_speedup = suite_exact_ns as f64 / suite_ff_ns.max(1) as f64;
+    eprintln!(
+        "fast-forward suite: {:.2}s -> {:.2}s ({suite_speedup:.1}x)",
+        suite_exact_ns as f64 / 1e9,
+        suite_ff_ns as f64 / 1e9,
+    );
+
     let (y, m, d) = civil_date_utc();
     let date = format!("{y:04}-{m:02}-{d:02}");
     let doc = Json::obj()
-        .field("schema", "c240-bench/v1")
+        .field("schema", "c240-bench/v2")
         .field("date", date.as_str())
+        .field("threads", threads)
+        .field("suite_wall_ns", suite_wall_ns)
         .field("kernels", Json::Arr(kernels))
         .field(
             "probe_overhead",
@@ -120,6 +239,15 @@ fn main() -> ExitCode {
                 .field("noprobe_median_ns", base.median_ns)
                 .field("counterprobe_median_ns", probed.median_ns)
                 .field("relative", relative),
+        )
+        .field(
+            "fast_forward",
+            Json::obj()
+                .field("scale", scale as u64)
+                .field("suite_fast_forward_ns", suite_ff_ns)
+                .field("suite_exact_ns", suite_exact_ns)
+                .field("suite_speedup", suite_speedup)
+                .field("kernels", Json::Arr(ff_kernels)),
         );
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {

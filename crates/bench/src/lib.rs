@@ -22,6 +22,8 @@
 
 pub mod timing;
 
+pub use macs_core::{parallel_map, pool::THREADS_ENV, threads};
+
 use c240_isa::{Program, ProgramBuilder};
 
 /// Builds a strip loop of `chimes` one-load chimes over `strips` strips

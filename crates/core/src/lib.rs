@@ -64,6 +64,7 @@ mod chime;
 mod diagnose;
 mod measure;
 pub mod overhead;
+pub mod pool;
 mod report;
 mod reschedule;
 mod runreport;
@@ -81,6 +82,7 @@ pub use chime::{
 pub use diagnose::{diagnose, Finding};
 pub use measure::{measure, measure_probed, Measurement};
 pub use overhead::{analyze_overhead, segmented_macs_cpl, OverheadModel};
+pub use pool::{parallel_map, threads};
 pub use report::{hierarchy_figure, TextTable};
 pub use reschedule::reschedule_for_chimes;
 pub use runreport::{RunReport, RUN_REPORT_SCHEMA};

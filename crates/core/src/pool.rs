@@ -1,0 +1,111 @@
+//! A dependency-free parallel map for independent model evaluations.
+//!
+//! The MACS workflow is embarrassingly parallel at the (kernel ×
+//! [`SimConfig`]) granularity: suite reports, ablation grids, and
+//! contention sweeps all evaluate independent points. This module gives
+//! them a minimal scoped-thread pool — no work stealing, no channels,
+//! just an index-ordered queue drained by `std::thread::scope` workers —
+//! so results are returned in input order regardless of which thread
+//! finished first (deterministic output is what makes the reports
+//! byte-diffable across machines).
+//!
+//! The worker count defaults to the machine's available parallelism and
+//! can be pinned with the `MACS_THREADS` environment variable (`1`
+//! forces fully serial evaluation, useful for timing baselines).
+//!
+//! [`SimConfig`]: c240_sim::SimConfig
+
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "MACS_THREADS";
+
+/// Parses a `MACS_THREADS`-style value: a positive thread count, or
+/// `None` for anything absent or unusable (falls back to the default).
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// The worker count: `MACS_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism (1 if unknown).
+pub fn threads() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Maps `f` over `items` on up to [`threads()`] scoped workers,
+/// returning results **in input order**.
+///
+/// Items are claimed from a shared queue one at a time, so uneven work
+/// (a fast kernel next to a slow ablation point) balances naturally.
+/// With one worker (or one item) it degenerates to a plain serial map
+/// with no threads spawned.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").next();
+                let Some((index, item)) = next else {
+                    break;
+                };
+                let result = f(item);
+                results.lock().expect("results lock").push((index, result));
+            });
+        }
+    });
+    let mut pairs = results.into_inner().expect("workers finished");
+    pairs.sort_by_key(|&(index, _)| index);
+    pairs.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Stagger the work so later items finish first on any schedule.
+        let out = parallel_map((0..64u64).collect(), |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        assert_eq!(parallel_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(vec![9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn env_override_parses_strictly() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-3")), None);
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

@@ -78,14 +78,16 @@ impl Suite {
     }
 
     /// Runs the full case study on a custom machine (ablations).
+    ///
+    /// The ten kernels are independent model evaluations, so they run
+    /// on the [`macs_core::pool`] (all cores by default; pin with
+    /// `MACS_THREADS`). Row order is the paper's regardless of the
+    /// worker schedule.
     pub fn run_with(sim: &SimConfig, chime: &ChimeConfig) -> Suite {
-        let rows = lfk_suite::all()
-            .into_iter()
-            .map(|k| KernelRow {
-                id: k.id(),
-                analysis: analyze_lfk(k.as_ref(), sim, chime),
-            })
-            .collect();
+        let rows = macs_core::parallel_map(lfk_suite::all(), |k| KernelRow {
+            id: k.id(),
+            analysis: analyze_lfk(k.as_ref(), sim, chime),
+        });
         Suite {
             rows,
             sim: sim.clone(),

@@ -75,6 +75,36 @@ impl fmt::Display for TimingClass {
     }
 }
 
+/// The machine's timing quantum, in grid points per cycle.
+///
+/// Every timing parameter of the modeled C-240 — integer latencies,
+/// half-cycle issue effects, and the 1.35-cycle reduction element rate —
+/// is a multiple of 1/20 cycle. Timestamps therefore live on a 1/20
+/// grid, and [`quantize`] maps any accumulated `f64` back to the
+/// canonical representation of its grid point.
+pub const TICKS_PER_CYCLE: f64 = 20.0;
+
+/// Rounds `x` to the canonical `f64` for the nearest 1/20-cycle grid
+/// point.
+///
+/// Repeated `f64` addition of non-dyadic quanta (1.35 is not a binary
+/// fraction) drifts by ulps; quantizing after every store makes each
+/// stored timestamp a pure function of its *integer tick count*, so two
+/// states that are equal in exact arithmetic are bitwise equal. That is
+/// what lets the simulator's steady-state fast-forward prove periodicity
+/// and translate timing state exactly (see `c240-sim`).
+///
+/// ```
+/// use c240_isa::timing::quantize;
+/// let drifted = 0.1 + 0.2;            // 0.30000000000000004
+/// assert_eq!(quantize(drifted), 0.3);
+/// assert_eq!(quantize(172.80000000000001), quantize(128.0 * 1.35));
+/// ```
+#[inline]
+pub fn quantize(x: f64) -> f64 {
+    (x * TICKS_PER_CYCLE).round() / TICKS_PER_CYCLE
+}
+
 /// The `X`/`Y`/`Z`/`B` timing of one vector instruction class.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VectorTiming {

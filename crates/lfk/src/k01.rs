@@ -74,10 +74,15 @@ impl LfkKernel for Lfk1 {
         PASSES as u64 * N as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         // The §3.5 listing, wrapped in the standard LFK repetition loop.
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
             pass:
                 mov #{SPACE1},a5
                 mov #{N},s0

@@ -107,7 +107,12 @@ impl LfkKernel for Lfk2 {
         PASSES as u64 * per_pass as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         // Registers: a0 pass counter; a4 = ii; a5 = byte address of the
         // current segment start p; a1 = &x[k] (k = p+2j+1); a2 = &v[k];
         // a3 = &x[q] store pointer; a6 saves q for the next segment.
@@ -120,7 +125,7 @@ impl LfkKernel for Lfk2 {
                                                        // scalar work the MACS bound deliberately excludes, and the
                                                        // reason this kernel's measurement sits far above its bound.
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
                 mov #{frame_byte},a7    ; scalar loop frame
             pass:
                 mov #{II0},a4

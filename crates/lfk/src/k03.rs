@@ -63,9 +63,14 @@ impl LfkKernel for Lfk3 {
         PASSES as u64 * N as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
                 sub.d v7,v7,v7          ; zero the partial-sum register
             pass:
                 mov #{z_byte},a1

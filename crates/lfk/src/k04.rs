@@ -94,11 +94,16 @@ impl LfkKernel for Lfk4 {
         PASSES as u64 * (BANDS * INNER) as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         // a0 passes; a6 band counter; a4 = &XZ band base; a5 = &X(k-1);
         // a1/a2 working stream pointers; s1 = Y(5); s4 = temp.
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
             pass:
                 mov #{BANDS},a6
                 mov #{xz_byte},a4

@@ -77,11 +77,16 @@ impl LfkKernel for Lfk6 {
         PASSES as u64 * ((N * (N - 1)) / 2) as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         // a0 passes; a4 = current row i; a5 = &B(1,i); a6 = &W(i);
         // a1/a2 working pointers; s4 = W(i) accumulator.
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
             pass:
                 mov #1,a4
                 mov #{b_col1_byte},a5

@@ -82,9 +82,14 @@ impl LfkKernel for Lfk7 {
         PASSES as u64 * N as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
                 mul.s s3,s3,s2          ; t2 = t*t
             pass:
                 mov #{y_byte},a1

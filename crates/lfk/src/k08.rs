@@ -158,7 +158,12 @@ impl LfkKernel for Lfk8 {
         PASSES as u64 * 2 * NY as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         let du_stmt = |u_base: &str, du_reg: &str, du_ptr: &str| {
             format!(
                 "    ld.l 40({u_base}):5,v0\n    ld.l -40({u_base}):5,v1\n    sub.d v0,v1,{du_reg}\n    st.l {du_reg},0({du_ptr})\n"
@@ -172,7 +177,7 @@ impl LfkKernel for Lfk8 {
         body.push_str(&Self::stmt_block("a2", [-9, -8, -7], None));
         body.push_str(&Self::stmt_block("a3", [-6, -5, -4], None));
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
                 mov #{NY},vl
             pass:
                 mov #{u1},a1

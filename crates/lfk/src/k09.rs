@@ -78,11 +78,16 @@ impl LfkKernel for Lfk9 {
         PASSES as u64 * N as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         // Byte offset of row j: (j-1)*8.
         let off = |j: i64| (j - 1) * 8;
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
                 mov #{N},vl
             pass:
                 mov #{px_byte},a1

@@ -91,7 +91,12 @@ impl LfkKernel for Lfk10 {
         PASSES as u64 * N as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         // The d-values rotate v0→v2→v4→v6, loads rotate v1→v3→v5→v7:
         // each {load, subtract} chime writes two distinct register pairs
         // and reads two, inside the §3.3 port limits.
@@ -119,7 +124,7 @@ impl LfkKernel for Lfk10 {
             off(14)
         ));
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
                 mov #{N},vl
             pass:
                 mov #{px_byte},a1

@@ -56,9 +56,14 @@ impl LfkKernel for Lfk12 {
         PASSES as u64 * N as u64
     }
 
-    fn program(&self) -> Program {
+    fn passes(&self) -> i64 {
+        PASSES
+    }
+
+    fn program_with_passes(&self, passes: i64) -> Program {
+        assert!(passes >= 1, "at least one pass");
         assemble(&format!(
-            "   mov #{PASSES},a0
+            "   mov #{passes},a0
             pass:
                 mov #{x_byte},a1
                 mov #{y_byte},a2

@@ -54,7 +54,7 @@ use c240_sim::Cpu;
 use macs_compiler::{Kernel, MaWorkload};
 
 /// A kernel of the case-study workload.
-pub trait LfkKernel {
+pub trait LfkKernel: Send + Sync {
     /// Kernel number (1, 2, 3, 4, 6, 7, 8, 9, 10 or 12).
     fn id(&self) -> u32;
 
@@ -74,9 +74,33 @@ pub trait LfkKernel {
     /// executes (across all passes and segments) — the CPL divisor.
     fn iterations(&self) -> u64;
 
+    /// Repetitions of the outer measurement loop in
+    /// [`LfkKernel::program`] (the `mov #passes,a0` counter every
+    /// kernel's listing starts with).
+    fn passes(&self) -> i64;
+
+    /// The kernel's program with the outer repetition loop run `passes`
+    /// times instead of the default. The simulator-throughput benches
+    /// use this to build paper-scale runs without touching the curated
+    /// default workloads. [`LfkKernel::check`] is only guaranteed for
+    /// the default pass count (kernels whose reference accumulates per
+    /// pass depend on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passes < 1`.
+    fn program_with_passes(&self, passes: i64) -> Program;
+
     /// The curated compiled program (prologue, outer repetition, strip
     /// loops, `halt`).
-    fn program(&self) -> Program;
+    fn program(&self) -> Program {
+        self.program_with_passes(self.passes())
+    }
+
+    /// [`LfkKernel::iterations`] scaled to a non-default pass count.
+    fn iterations_with_passes(&self, passes: i64) -> u64 {
+        self.iterations() / self.passes() as u64 * passes as u64
+    }
 
     /// Initializes memory and registers on a fresh CPU.
     fn setup(&self, cpu: &mut Cpu);

@@ -51,6 +51,13 @@ pub struct ScalarCache {
     tags: Vec<Option<u64>>,
     hits: u64,
     misses: u64,
+    // `addr >> shift` replaces `addr / line_words` when the line size is
+    // a power of two (it always is for the c240 geometry); likewise a
+    // mask replaces the modulo when `lines` is a power of two. The
+    // simulator's fast-forward warp invalidates per stored element, so
+    // this division is on a hot path.
+    line_shift: Option<u32>,
+    line_mask: Option<u64>,
 }
 
 impl ScalarCache {
@@ -65,6 +72,14 @@ impl ScalarCache {
             tags: vec![None; config.lines],
             hits: 0,
             misses: 0,
+            line_shift: config
+                .line_words
+                .is_power_of_two()
+                .then(|| config.line_words.trailing_zeros()),
+            line_mask: config
+                .lines
+                .is_power_of_two()
+                .then(|| config.lines as u64 - 1),
         }
     }
 
@@ -91,8 +106,14 @@ impl ScalarCache {
     }
 
     fn line_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line_addr = addr / u64::from(self.config.line_words);
-        let line = (line_addr % self.tags.len() as u64) as usize;
+        let line_addr = match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / u64::from(self.config.line_words),
+        };
+        let line = match self.line_mask {
+            Some(m) => (line_addr & m) as usize,
+            None => (line_addr % self.tags.len() as u64) as usize,
+        };
         (line, line_addr)
     }
 
@@ -126,6 +147,101 @@ impl ScalarCache {
         }
         let granted = mem.write(addr, value, at);
         granted + self.config.hit_latency as f64
+    }
+
+    /// Updates tags and hit/miss counters for a load *without* touching
+    /// the memory system's timing state; returns whether it hit. The
+    /// simulator's fast-forward warp replays scalar loads functionally
+    /// (data via [`MemorySystem::peek`]) and uses this to keep the cache
+    /// state and statistics identical to [`ScalarCache::read`].
+    pub fn tag_read(&mut self, addr: u64) -> bool {
+        let (line, tag) = self.line_and_tag(addr);
+        if self.tags[line] == Some(tag) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            self.tags[line] = Some(tag);
+            false
+        }
+    }
+
+    /// The tag/counter half of [`ScalarCache::write`] without the memory
+    /// access; returns whether it hit. See [`ScalarCache::tag_read`].
+    pub fn tag_write(&mut self, addr: u64) -> bool {
+        // Write-through tags behave exactly like read tags.
+        self.tag_read(addr)
+    }
+
+    /// Hit/miss counters as a checkpoint token for [`ScalarCache::rollback`].
+    pub fn checkpoint(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// [`ScalarCache::tag_read`], journaling any tag overwrite into `log`
+    /// so the caller can undo a speculative sequence with
+    /// [`ScalarCache::rollback`] instead of cloning the whole cache.
+    pub fn tag_read_logged(&mut self, addr: u64, log: &mut Vec<(usize, Option<u64>)>) -> bool {
+        let (line, tag) = self.line_and_tag(addr);
+        if self.tags[line] == Some(tag) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            log.push((line, self.tags[line]));
+            self.tags[line] = Some(tag);
+            false
+        }
+    }
+
+    /// [`ScalarCache::tag_write`] with journaling; see
+    /// [`ScalarCache::tag_read_logged`].
+    pub fn tag_write_logged(&mut self, addr: u64, log: &mut Vec<(usize, Option<u64>)>) -> bool {
+        self.tag_read_logged(addr, log)
+    }
+
+    /// [`ScalarCache::invalidate`] with journaling; see
+    /// [`ScalarCache::tag_read_logged`].
+    pub fn invalidate_logged(&mut self, addr: u64, log: &mut Vec<(usize, Option<u64>)>) {
+        let (line, tag) = self.line_and_tag(addr);
+        if self.tags[line] == Some(tag) {
+            log.push((line, self.tags[line]));
+            self.tags[line] = None;
+        }
+    }
+
+    /// Journaled invalidation of every line overlapping the word run
+    /// `[addr, addr + n)` — equivalent to calling
+    /// [`ScalarCache::invalidate_logged`] on each word, but one tag probe
+    /// per line instead of per word.
+    pub fn invalidate_run_logged(
+        &mut self,
+        addr: u64,
+        n: usize,
+        log: &mut Vec<(usize, Option<u64>)>,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let lw = u64::from(self.config.line_words);
+        let mut a = addr;
+        let end = addr + n as u64;
+        while a < end {
+            self.invalidate_logged(a, log);
+            // Jump to the first word of the next line.
+            a = (a / lw + 1) * lw;
+        }
+    }
+
+    /// Undoes a journaled sequence of `*_logged` calls: restores the
+    /// overwritten tags in reverse order and resets the counters to a
+    /// [`ScalarCache::checkpoint`] taken before the sequence.
+    pub fn rollback(&mut self, counters: (u64, u64), log: &[(usize, Option<u64>)]) {
+        for &(line, old) in log.iter().rev() {
+            self.tags[line] = old;
+        }
+        self.hits = counters.0;
+        self.misses = counters.1;
     }
 
     /// Invalidates the line containing `addr` (used when a vector store
@@ -205,6 +321,57 @@ mod tests {
         assert_eq!(c.hits() + c.misses(), 0);
         let _ = c.read(&mut m, 1, 0.0);
         assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn logged_ops_match_plain_ops_and_roll_back() {
+        let mut m = mem();
+        let plain = {
+            let mut c = ScalarCache::new(CacheConfig::c240());
+            assert!(!c.tag_read(10));
+            assert!(c.tag_read(11));
+            assert!(!c.tag_write(5000));
+            c.invalidate(10);
+            c
+        };
+        let mut c = ScalarCache::new(CacheConfig::c240());
+        let mark = c.checkpoint();
+        let mut log = Vec::new();
+        assert!(!c.tag_read_logged(10, &mut log));
+        assert!(c.tag_read_logged(11, &mut log));
+        assert!(!c.tag_write_logged(5000, &mut log));
+        c.invalidate_logged(10, &mut log);
+        assert_eq!((c.hits(), c.misses()), (plain.hits(), plain.misses()));
+        // Same observable behaviour after the sequence...
+        let (_, v) = c.read(&mut m, 5001, 0.0);
+        let _ = v;
+        // ...and rollback restores the pristine state exactly.
+        let mut fresh = ScalarCache::new(CacheConfig::c240());
+        let mut c2 = ScalarCache::new(CacheConfig::c240());
+        let mut log2 = Vec::new();
+        let mark2 = c2.checkpoint();
+        let _ = c2.tag_read_logged(10, &mut log2);
+        let _ = c2.tag_write_logged(5000, &mut log2);
+        c2.invalidate_logged(10, &mut log2);
+        c2.rollback(mark2, &log2);
+        assert_eq!((c2.hits(), c2.misses()), (0, 0));
+        assert!(!fresh.tag_read(77) && !c2.tag_read(77));
+        assert_eq!(mark, (0, 0));
+    }
+
+    #[test]
+    fn non_power_of_two_geometry_still_maps_correctly() {
+        let mut m = mem();
+        let mut c = ScalarCache::new(CacheConfig {
+            lines: 3,
+            line_words: 5,
+            hit_latency: 1,
+            miss_penalty: 2,
+        });
+        let _ = c.read(&mut m, 0, 0.0); // line 0
+        let _ = c.read(&mut m, 4, 0.0); // same line: hit
+        let _ = c.read(&mut m, 5, 0.0); // next line: miss
+        assert_eq!((c.hits(), c.misses()), (1, 2));
     }
 
     #[test]

@@ -175,6 +175,19 @@ impl ContentionConfig {
         self.streams.is_empty()
     }
 
+    /// The period, in cycles, after which the joint claim pattern of all
+    /// streams repeats: each stream visits a given bank once per `banks`
+    /// cycles and its duty gate repeats every `duty_den` visits, so the
+    /// combined pattern is periodic in `lcm(banks · duty_den)`. Returns 1
+    /// for an idle machine. Used by the simulator's fast-forward detector
+    /// to require matching contention phase between periodic states.
+    pub fn pattern_period(&self, banks: u32) -> u64 {
+        self.streams.iter().fold(1u64, |acc, s| {
+            let p = u64::from(banks) * u64::from(s.duty_den);
+            acc / crate::gcd(acc, p) * p
+        })
+    }
+
     /// The end of the latest claim blocking a grant to `bank` at cycle
     /// `t`, if any stream blocks it.
     pub fn blocking_claim_end(&self, bank: u32, banks: u32, t: f64, claim_len: f64) -> Option<f64> {

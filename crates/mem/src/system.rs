@@ -3,6 +3,18 @@
 use crate::contention::ContentionConfig;
 use crate::{bank_of, gcd};
 
+/// Grid points per cycle of the machine's timing quantum. Private copy of
+/// `c240_isa::timing::TICKS_PER_CYCLE` — this crate is dependency-free.
+const TICKS_PER_CYCLE: f64 = 20.0;
+
+/// Rounds to the canonical `f64` of the nearest 1/20-cycle grid point,
+/// keeping every stored timestamp a pure function of its integer tick
+/// count (see `c240_isa::timing::quantize`).
+#[inline]
+fn q(x: f64) -> f64 {
+    (x * TICKS_PER_CYCLE).round() / TICKS_PER_CYCLE
+}
+
 /// Configuration of the memory system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
@@ -198,6 +210,20 @@ impl MemorySystem {
         self.data[addr as usize] = value;
     }
 
+    /// A contiguous run of `n` words starting at `addr`, or `None` if
+    /// the run leaves the configured memory. Bulk (unit-stride) data
+    /// access for the simulator's fast-forward warp; timing untouched.
+    pub fn peek_run(&self, addr: u64, n: usize) -> Option<&[f64]> {
+        self.data
+            .get(addr as usize..(addr as usize).checked_add(n)?)
+    }
+
+    /// Mutable variant of [`MemorySystem::peek_run`].
+    pub fn poke_run(&mut self, addr: u64, n: usize) -> Option<&mut [f64]> {
+        self.data
+            .get_mut(addr as usize..(addr as usize).checked_add(n)?)
+    }
+
     /// Clears all timing state (bank availability, statistics) while
     /// keeping data — used between measurement runs.
     pub fn reset_timing(&mut self) {
@@ -220,7 +246,8 @@ impl MemorySystem {
     fn grant(&mut self, addr: u64, earliest: f64) -> f64 {
         self.check(addr);
         let bank = bank_of(addr, self.config.banks) as usize;
-        let mut t = earliest.max(0.0);
+        let earliest = q(earliest.max(0.0));
+        let mut t = earliest;
         let mut guard = 0u32;
         loop {
             guard += 1;
@@ -230,7 +257,7 @@ impl MemorySystem {
                  contention configuration saturates the bank"
             );
             if t < self.bank_free[bank] {
-                self.breakdown.bank_busy += self.bank_free[bank] - t;
+                self.breakdown.bank_busy = q(self.breakdown.bank_busy + (self.bank_free[bank] - t));
                 t = self.bank_free[bank];
                 continue;
             }
@@ -243,8 +270,8 @@ impl MemorySystem {
                     // stall for eight cycles" — the blocked access pays
                     // the full window (re-arbitration included), not just
                     // the remainder of it.
-                    self.breakdown.refresh += len;
-                    t += len;
+                    self.breakdown.refresh = q(self.breakdown.refresh + len);
+                    t = q(t + len);
                     continue;
                 }
             }
@@ -254,16 +281,119 @@ impl MemorySystem {
                 t,
                 self.config.bank_busy as f64,
             ) {
-                self.breakdown.contention += end - t;
-                t = end;
+                self.breakdown.contention = q(self.breakdown.contention + (end - t));
+                t = q(end);
                 continue;
             }
             break;
         }
-        self.bank_free[bank] = t + self.config.bank_busy as f64;
+        self.bank_free[bank] = q(t + self.config.bank_busy as f64);
         self.accesses += 1;
-        self.waited += t - earliest.max(0.0);
+        self.waited = q(self.waited + (t - earliest));
         t
+    }
+
+    /// Per-bank earliest-free cycles, exposed so the simulator's
+    /// steady-state fast-forward can snapshot and translate the memory
+    /// system's timing state along with its own.
+    pub fn bank_state(&self) -> &[f64] {
+        &self.bank_free
+    }
+
+    /// Mutable view of the per-bank earliest-free cycles (fast-forward
+    /// translation; see [`MemorySystem::bank_state`]).
+    pub fn bank_state_mut(&mut self) -> &mut [f64] {
+        &mut self.bank_free
+    }
+
+    /// Adds `k` periods' worth of access counters in one step — the
+    /// fast-forward path's replacement for `k` repetitions of identical
+    /// per-period traffic. The per-period deltas must come from two
+    /// counter snapshots of this system taken one period apart, expressed
+    /// in *ticks* (1/20 cycle); the translation runs in integer tick
+    /// arithmetic so the result is the canonical grid value the naive run
+    /// would have accumulated.
+    pub fn ff_apply(
+        &mut self,
+        accesses: u64,
+        waited_ticks: f64,
+        breakdown_ticks: WaitBreakdown,
+        k: u64,
+    ) {
+        self.accesses += accesses * k;
+        let kf = k as f64;
+        let translate = |c: &mut f64, d: f64| {
+            *c = ((*c * TICKS_PER_CYCLE).round() + kf * d) / TICKS_PER_CYCLE;
+        };
+        translate(&mut self.waited, waited_ticks);
+        translate(&mut self.breakdown.bank_busy, breakdown_ticks.bank_busy);
+        translate(&mut self.breakdown.refresh, breakdown_ticks.refresh);
+        translate(&mut self.breakdown.contention, breakdown_ticks.contention);
+    }
+
+    /// Whether a strided element stream of `n` accesses starting at word
+    /// `base`, paced exactly `z` cycles apart from cycle `start`, is
+    /// provably conflict-free: every grant lands at its requested cycle
+    /// with zero wait. True only when contention is idle, the whole
+    /// stream stays clear of refresh windows, same-bank revisits are
+    /// spaced at least the bank recovery time apart, and every touched
+    /// bank has already recovered from earlier traffic.
+    pub fn stream_conflict_free(&self, base: i64, stride: i64, n: u32, start: f64, z: f64) -> bool {
+        if n == 0 {
+            return true;
+        }
+        if !self.config.contention.is_idle() {
+            return false;
+        }
+        let span = z * (n - 1) as f64;
+        if self.config.refresh_enabled {
+            let period = self.config.refresh_period as f64;
+            let len = self.config.refresh_len as f64;
+            let into = start.rem_euclid(period);
+            if into < len || into + span >= period {
+                return false;
+            }
+        }
+        // Same-bank revisit spacing: a stride touching `r` distinct banks
+        // revisits each one every `r` elements = `z·r` cycles.
+        let r = self.banks_touched(stride);
+        if (n > r) && z * (r as f64) < self.config.bank_busy as f64 {
+            return false;
+        }
+        // Every touched bank must be free by the stream's start.
+        let banks = i64::from(self.config.banks);
+        let mut bank = base.rem_euclid(banks);
+        let step = stride.rem_euclid(banks);
+        for _ in 0..r.min(n) {
+            if self.bank_free[bank as usize] > start {
+                return false;
+            }
+            bank = (bank + step) % banks;
+        }
+        true
+    }
+
+    /// Claims a conflict-free stream's grants in closed form: the
+    /// per-element search of [`MemorySystem::read`]/`write` collapses to
+    /// a counter bump plus final per-bank recovery times. Must only be
+    /// called after [`MemorySystem::stream_conflict_free`] returned true
+    /// for the same arguments; produces bit-identical timing state to
+    /// `n` individual grants at `start + z·e`.
+    pub fn claim_stream(&mut self, base: i64, stride: i64, n: u32, start: f64, z: f64) {
+        if n == 0 {
+            return;
+        }
+        self.accesses += u64::from(n);
+        let banks = i64::from(self.config.banks);
+        let r = self.banks_touched(stride);
+        // Only the last visit to each bank determines its recovery time.
+        let first = n.saturating_sub(r);
+        let mut bank = (base + stride * i64::from(first)).rem_euclid(banks);
+        let step = stride.rem_euclid(banks);
+        for e in first..n {
+            self.bank_free[bank as usize] = q(start + z * e as f64 + self.config.bank_busy as f64);
+            bank = (bank + step) % banks;
+        }
     }
 
     /// The number of distinct banks a stride touches before repeating —

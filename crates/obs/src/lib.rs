@@ -31,6 +31,18 @@ pub mod json;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Grid points per cycle of the machine's timing quantum. Private copy of
+/// `c240_isa::timing::TICKS_PER_CYCLE` — this crate is dependency-free.
+const TICKS_PER_CYCLE: f64 = 20.0;
+
+/// Rounds to the canonical `f64` of the nearest 1/20-cycle grid point, so
+/// accumulated counters stay a pure function of their integer tick count
+/// (see `c240_isa::timing::quantize`).
+#[inline]
+fn q(x: f64) -> f64 {
+    (x * TICKS_PER_CYCLE).round() / TICKS_PER_CYCLE
+}
+
 /// Why a lane spent a cycle not making progress.
 ///
 /// The taxonomy follows the paper's gap commentary (§4.4): memory-side
@@ -192,7 +204,7 @@ impl StallCounters {
 
     /// Adds `cycles` to `cause`.
     pub fn add(&mut self, cause: StallCause, cycles: f64) {
-        self.cycles[cause as usize] += cycles;
+        self.cycles[cause as usize] = q(self.cycles[cause as usize] + cycles);
     }
 
     /// Cycles charged to `cause`.
@@ -292,13 +304,35 @@ pub trait Probe {
     fn idle(&mut self, lane: Lane, cycles: f64) {
         let _ = (lane, cycles);
     }
+
+    /// Flattens every accumulated counter into a deterministic `Vec` so
+    /// the simulator's steady-state fast-forward can compute per-period
+    /// deltas and later scale them (see `c240-sim`'s fast-forward docs).
+    ///
+    /// Returning `None` (the default for external probes) declares the
+    /// probe opaque: the simulator then never fast-forwards a probed run,
+    /// falling back to exact element stepping.
+    fn ff_counters(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// Adds `k · deltas[i]` to the counter at flattened index `i`, in the
+    /// same order [`Probe::ff_counters`] produced. Only called with
+    /// deltas previously derived from this probe's own `ff_counters`.
+    fn ff_apply(&mut self, deltas: &[f64], k: f64) {
+        let _ = (deltas, k);
+    }
 }
 
 /// The zero-cost probe: every hook is a no-op and `ENABLED` is false.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoProbe;
 
-impl Probe for NoProbe {}
+impl Probe for NoProbe {
+    fn ff_counters(&self) -> Option<Vec<f64>> {
+        Some(Vec::new())
+    }
+}
 
 /// Accumulating probe: totals, per-lane accounts, and a per-pc stall
 /// breakdown.
@@ -370,7 +404,8 @@ impl Probe for CounterProbe {
         let _ = pc;
         debug_assert!(cycles >= -1e-9, "negative busy: {cycles}");
         if cycles > 0.0 {
-            self.lanes[lane as usize].busy += cycles;
+            let a = &mut self.lanes[lane as usize];
+            a.busy = q(a.busy + cycles);
         }
     }
 
@@ -378,8 +413,54 @@ impl Probe for CounterProbe {
     fn idle(&mut self, lane: Lane, cycles: f64) {
         debug_assert!(cycles >= -1e-9, "negative idle: {cycles}");
         if cycles > 0.0 {
-            self.lanes[lane as usize].idle += cycles;
+            let a = &mut self.lanes[lane as usize];
+            a.idle = q(a.idle + cycles);
         }
+    }
+
+    /// Layout: per lane `[busy, idle, stalls × 12]`, then per `by_pc`
+    /// entry (ascending pc) `[pc, stalls × 12]`. Embedding the pc makes a
+    /// change in the pc set show up as a nonzero/non-stale delta, which
+    /// the fast-forward detector rejects.
+    fn ff_counters(&self) -> Option<Vec<f64>> {
+        let mut v = Vec::with_capacity(
+            Lane::COUNT * (2 + StallCause::COUNT) + self.by_pc.len() * (1 + StallCause::COUNT),
+        );
+        for account in &self.lanes {
+            v.push(account.busy);
+            v.push(account.idle);
+            v.extend_from_slice(&account.stalls.cycles);
+        }
+        for (&pc, counters) in &self.by_pc {
+            v.push(pc as f64);
+            v.extend_from_slice(&counters.cycles);
+        }
+        Some(v)
+    }
+
+    fn ff_apply(&mut self, deltas: &[f64], k: f64) {
+        // Deltas arrive in ticks (1/20 cycle); translating in integer tick
+        // arithmetic reproduces the canonical value the element-stepped
+        // run would have accumulated.
+        let translate = |c: &mut f64, d: f64| {
+            *c = ((*c * TICKS_PER_CYCLE).round() + k * d) / TICKS_PER_CYCLE;
+        };
+        let mut it = deltas.iter();
+        let mut next = || *it.next().expect("ff delta layout mismatch");
+        for account in &mut self.lanes {
+            translate(&mut account.busy, next());
+            translate(&mut account.idle, next());
+            for c in &mut account.stalls.cycles {
+                translate(c, next());
+            }
+        }
+        for counters in self.by_pc.values_mut() {
+            let _pc = next();
+            for c in &mut counters.cycles {
+                translate(c, next());
+            }
+        }
+        assert!(it.next().is_none(), "ff delta layout mismatch");
     }
 }
 

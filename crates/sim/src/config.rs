@@ -71,6 +71,12 @@ pub struct SimConfig {
     pub trace_cap: usize,
     /// Abort after this many executed instructions (runaway-loop guard).
     pub max_instructions: u64,
+    /// Steady-state fast-forward: when a loop's timing state is detected
+    /// to be exactly periodic, skip ahead by whole periods instead of
+    /// stepping every element (bit-exact; see DESIGN.md). Disabled
+    /// automatically while tracing, since a fast-forwarded run does not
+    /// emit the skipped iterations' trace events.
+    pub fast_forward: bool,
 }
 
 impl SimConfig {
@@ -86,7 +92,17 @@ impl SimConfig {
             trace: false,
             trace_cap: 65_536,
             max_instructions: 200_000_000,
+            fast_forward: true,
         }
+    }
+
+    /// Same machine with steady-state fast-forward disabled (every
+    /// element stepped exactly). Results are identical either way — this
+    /// switch exists for the equivalence tests and the CI timing smoke
+    /// job that prove it.
+    pub fn without_fast_forward(mut self) -> Self {
+        self.fast_forward = false;
+        self
     }
 
     /// Same machine with chaining disabled (Cray-2 style ablation).

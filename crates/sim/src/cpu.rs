@@ -29,12 +29,19 @@ use c240_isa::{
 use c240_mem::{MemorySystem, ScalarCache, WaitBreakdown};
 use c240_obs::{Lane, NoProbe, Probe, StallCause};
 
+use c240_isa::timing::{quantize as q, TICKS_PER_CYCLE};
+
 use crate::config::SimConfig;
 use crate::error::SimError;
+use crate::fastfwd::{
+    self, hash_words, ArrivalAction, FastForward, PeriodRecord, Snapshot, SnapshotWhy, Step,
+    StepCheck,
+};
 use crate::stats::RunStats;
 use crate::trace::{Trace, TraceEvent};
 
 const VLEN: usize = MAX_VL as usize;
+const VREGS: usize = 8;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct PipeState {
@@ -149,6 +156,11 @@ pub struct Cpu {
 
     stats: RunStats,
     trace: Trace,
+
+    // Steady-state fast-forward detector (see `fastfwd` module).
+    ff: FastForward,
+    // Instructions skipped analytically by fast-forward in the last run.
+    ff_skipped: u64,
 }
 
 fn pipe_slot(pipe: Pipe) -> usize {
@@ -186,6 +198,8 @@ impl Cpu {
             credits: [PipeCredits::default(); 3],
             stats: RunStats::default(),
             trace: Trace::default(),
+            ff: FastForward::new(),
+            ff_skipped: 0,
         }
     }
 
@@ -302,6 +316,16 @@ impl Cpu {
         };
         self.mem.reset_timing();
         self.cache.reset();
+        self.ff = FastForward::new();
+        self.ff_skipped = 0;
+    }
+
+    /// Instructions the last run skipped via steady-state fast-forward
+    /// (0 when no periodic state was detected, or fast-forward was off).
+    /// Skipped instructions are still fully accounted in the run's
+    /// statistics; this only reveals how much exact stepping was avoided.
+    pub fn fast_forwarded_instructions(&self) -> u64 {
+        self.ff_skipped
     }
 
     /// Runs `program` from its first instruction until `halt`.
@@ -338,6 +362,11 @@ impl Cpu {
         probe: &mut P,
     ) -> Result<RunStats, SimError> {
         self.reset_timing();
+        // Fast-forward needs the probe's counters to be expressible as a
+        // flat delta vector, and cannot run while tracing (the skipped
+        // iterations' trace events would be missing).
+        self.ff.enabled =
+            self.config.fast_forward && !self.config.trace && probe.ff_counters().is_some();
         let instrs = program.instructions();
         let mut pc = 0usize;
         let mut executed: u64 = 0;
@@ -355,7 +384,21 @@ impl Cpu {
             if matches!(ins, Instruction::Halt) {
                 break;
             }
-            pc = self.step(probe, ins, pc, program)?;
+            let pre = if self.ff.is_recording() {
+                Some(self.ff_prestep(ins))
+            } else {
+                None
+            };
+            let next = self.step(probe, ins, pc, program)?;
+            if let Some(pre) = pre {
+                self.ff_poststep(pc, pre);
+            }
+            if next < pc && self.ff.active() && self.ff_loop_head(probe, next, executed) {
+                let skipped = self.ff_warp(probe, program, next, executed);
+                executed += skipped;
+                self.ff_skipped += skipped;
+            }
+            pc = next;
         }
         self.stats.cycles = self.end.max(self.clock);
         self.stats.memory_accesses = self.mem.access_count();
@@ -375,7 +418,7 @@ impl Cpu {
                 (total - self.acct[Lane::ScalarMem as usize]).max(0.0),
             );
         }
-        Ok(self.stats.clone())
+        Ok(std::mem::take(&mut self.stats))
     }
 
     /// Executes one instruction; returns the next pc.
@@ -438,7 +481,7 @@ impl Cpu {
                 let (dv, dready) = self.read_scalar_int(*dst);
                 self.scalar_wait(probe, pc, sready.max(dready));
                 self.issue_scalar(probe, pc);
-                let ready = self.clock + self.config.scalar.int_latency - 1.0;
+                let ready = q(self.clock + self.config.scalar.int_latency - 1.0);
                 self.write_scalar_int(*dst, op.apply(dv, sv), ready);
             }
             SFpOp { op, a, b, dst } => {
@@ -455,7 +498,7 @@ impl Cpu {
                 let vb = f64::from_bits(self.s[ib]);
                 let id = usize::from(dst.index());
                 self.s[id] = op.apply(va, vb).to_bits();
-                self.s_ready[id] = self.clock + lat - 1.0;
+                self.s_ready[id] = q(self.clock + lat - 1.0);
                 self.end = self.end.max(self.s_ready[id]);
             }
             SLoad { addr, dst } => self.scalar_load(probe, pc, *addr, *dst)?,
@@ -478,7 +521,7 @@ impl Cpu {
                     if P::ENABLED {
                         probe.busy(Lane::Scalar, self.config.scalar.branch_taken_penalty, pc);
                     }
-                    self.clock += self.config.scalar.branch_taken_penalty;
+                    self.clock = q(self.clock + self.config.scalar.branch_taken_penalty);
                     self.stats.branches_taken += 1;
                     return Ok(self.resolve(program, target));
                 }
@@ -488,7 +531,7 @@ impl Cpu {
                 if P::ENABLED {
                     probe.busy(Lane::Scalar, self.config.scalar.branch_taken_penalty, pc);
                 }
-                self.clock += self.config.scalar.branch_taken_penalty;
+                self.clock = q(self.clock + self.config.scalar.branch_taken_penalty);
                 self.stats.branches_taken += 1;
                 return Ok(self.resolve(program, target));
             }
@@ -509,7 +552,7 @@ impl Cpu {
         if P::ENABLED {
             probe.busy(Lane::Scalar, self.config.scalar.issue, pc);
         }
-        self.clock += self.config.scalar.issue;
+        self.clock = q(self.clock + self.config.scalar.issue);
         self.end = self.end.max(self.clock);
     }
 
@@ -698,7 +741,7 @@ impl Cpu {
         self.active.push(ActiveVec {
             pair_reads: reads,
             pair_writes: writes,
-            end: t + duration,
+            end: q(t + duration),
         });
         t
     }
@@ -712,7 +755,7 @@ impl Cpu {
         if P::ENABLED {
             probe.busy(Lane::Scalar, x, pc);
         }
-        self.clock += x;
+        self.clock = q(self.clock + x);
         self.end = self.end.max(self.clock);
         self.clock
     }
@@ -730,15 +773,17 @@ impl Cpu {
         let slot = pipe_slot(pipe);
         // max: a reduction may already have pushed the pipe further
         // (scalar-result serialization).
-        self.pipes[slot].next_entry = self.pipes[slot].next_entry.max(sched.last_entry + timing.z);
-        self.pipes[slot].issue_gate = sched.entry0;
+        self.pipes[slot].next_entry = self.pipes[slot]
+            .next_entry
+            .max(q(sched.last_entry + timing.z));
+        self.pipes[slot].issue_gate = q(sched.entry0);
         // The restart handshake stalls the VP element advance for B
         // cycles on every pipe (Eq. 13: a chime costs Z·VL + ΣB).
         for (p, credit) in self.pipes.iter_mut().zip(self.credits.iter_mut()) {
-            p.next_entry += timing.b;
-            credit.bubble += timing.b;
+            p.next_entry = q(p.next_entry + timing.b);
+            credit.bubble = q(credit.bubble + timing.b);
         }
-        self.end = self.end.max(sched.last_result);
+        self.end = self.end.max(q(sched.last_result));
         if self.config.trace {
             self.trace.push(TraceEvent {
                 pc,
@@ -863,13 +908,13 @@ impl Cpu {
                 first_result = result;
             }
             self.vdata[d][e] = f(va[e], vb[e]);
-            self.vready[d][e] = result;
+            self.vready[d][e] = q(result);
         }
         let last_entry = entry;
         let last_result = last_entry + timing.y;
         if P::ENABLED {
             probe.busy(lane, timing.z * vl as f64, pc);
-            self.acct[slot] = last_entry + timing.z;
+            self.acct[slot] = q(last_entry + timing.z);
         }
         self.stats.elements[slot] += vl as u64;
         self.stats.flops += vl as u64;
@@ -898,7 +943,7 @@ impl Cpu {
     fn mark_read(&mut self, op: VOperand, e: usize, at: f64) {
         if let VOperand::V(v) = op {
             let i = usize::from(v.index());
-            self.vread_until[i][e] = self.vread_until[i][e].max(at);
+            self.vread_until[i][e] = self.vread_until[i][e].max(q(at));
         }
     }
 
@@ -985,7 +1030,7 @@ impl Cpu {
             0.0
         };
         self.s[d] = (base + sign * s).to_bits();
-        self.s_ready[d] = last_result;
+        self.s_ready[d] = q(last_result);
 
         // A reduction funnels the VP into the scalar unit: the VP
         // sequencer cannot run further vector work past it until the
@@ -995,14 +1040,14 @@ impl Cpu {
         // involve "numerous special cases".)
         for (p, credit) in self.pipes.iter_mut().zip(self.credits.iter_mut()) {
             if last_result > p.next_entry {
-                credit.reduction += last_result - p.next_entry;
-                p.next_entry = last_result;
+                credit.reduction = q(credit.reduction + (last_result - p.next_entry));
+                p.next_entry = q(last_result);
             }
         }
 
         if P::ENABLED {
             probe.busy(lane, timing.z * vl as f64, pc);
-            self.acct[slot] = last_entry + timing.z;
+            self.acct[slot] = q(last_entry + timing.z);
         }
         self.stats.elements[slot] += vl as u64;
         self.stats.flops += vl as u64;
@@ -1076,6 +1121,50 @@ impl Cpu {
             );
         }
 
+        // Closed-form grant fast path: when the whole element stream is
+        // provably conflict-free (idle contention, clear of refresh,
+        // bank revisits spaced past recovery, banks free, no chaining
+        // delays past entry0), the per-element grant search collapses to
+        // arithmetic. Bit-identical to the loop below; skipped under a
+        // probe, which needs the per-element wait attribution.
+        if !P::ENABLED {
+            let chain_max = self.vread_until[d][..vl]
+                .iter()
+                .fold(0.0_f64, |m, &r| m.max(r));
+            let base = self.element_addr(addr, 0) as i64;
+            let stride = addr.stride.words();
+            if chain_max <= entry0
+                && self
+                    .mem
+                    .stream_conflict_free(base, stride, vl as u32, entry0, timing.z)
+            {
+                self.mem
+                    .claim_stream(base, stride, vl as u32, entry0, timing.z);
+                for e in 0..vl {
+                    let word = self.element_addr(addr, e);
+                    let value = self.mem.peek(word);
+                    self.vdata[d][e] = value;
+                    self.vready[d][e] = q(entry0 + timing.z * e as f64 + timing.y);
+                }
+                let last_entry = entry0 + timing.z * (vl - 1) as f64;
+                self.stats.elements[slot] += vl as u64;
+                self.vector_retire(
+                    pc,
+                    ins,
+                    pipe,
+                    timing,
+                    issue_start,
+                    Schedule {
+                        entry0,
+                        last_entry,
+                        first_result: entry0 + timing.y,
+                        last_result: last_entry + timing.y,
+                    },
+                );
+                return;
+            }
+        }
+
         let lane = lane_of(slot);
         let mut entry;
         let mut first_entry = 0.0;
@@ -1108,14 +1197,14 @@ impl Cpu {
                 first_result = entry + timing.y;
             }
             self.vdata[d][e] = value;
-            self.vready[d][e] = entry + timing.y;
+            self.vready[d][e] = q(entry + timing.y);
             prev = entry;
         }
         let last_entry = prev;
         let last_result = last_entry + timing.y;
         if P::ENABLED {
             probe.busy(lane, timing.z * vl as f64, pc);
-            self.acct[slot] = last_entry + timing.z;
+            self.acct[slot] = q(last_entry + timing.z);
         }
         self.stats.elements[slot] += vl as u64;
         self.vector_retire(
@@ -1178,6 +1267,49 @@ impl Cpu {
             );
         }
 
+        // Closed-form grant fast path — see the twin in `vector_load`.
+        // Stores additionally require the source operand fully ready by
+        // entry0, since element entries chain on it.
+        if !P::ENABLED {
+            let src_max = self.vready[usize::from(src.index())][..vl]
+                .iter()
+                .fold(0.0_f64, |m, &r| m.max(r));
+            let base = self.element_addr(addr, 0) as i64;
+            let stride = addr.stride.words();
+            if src_max <= entry0
+                && self
+                    .mem
+                    .stream_conflict_free(base, stride, vl as u32, entry0, timing.z)
+            {
+                self.mem
+                    .claim_stream(base, stride, vl as u32, entry0, timing.z);
+                let values = self.vdata[usize::from(src.index())];
+                for (e, &value) in values.iter().enumerate().take(vl) {
+                    let entry = entry0 + timing.z * e as f64;
+                    self.mark_read(srcop, e, entry);
+                    let word = self.element_addr(addr, e);
+                    self.mem.poke(word, value);
+                    self.cache.invalidate(word);
+                }
+                let last_entry = entry0 + timing.z * (vl - 1) as f64;
+                self.stats.elements[slot] += vl as u64;
+                self.vector_retire(
+                    pc,
+                    ins,
+                    pipe,
+                    timing,
+                    issue_start,
+                    Schedule {
+                        entry0,
+                        last_entry,
+                        first_result: entry0 + timing.y,
+                        last_result: last_entry + timing.y,
+                    },
+                );
+                return;
+            }
+        }
+
         let lane = lane_of(slot);
         let values = self.vdata[usize::from(src.index())];
         let mut first_entry = 0.0;
@@ -1214,7 +1346,7 @@ impl Cpu {
         let last_result = last_entry + timing.y;
         if P::ENABLED {
             probe.busy(lane, timing.z * vl as f64, pc);
-            self.acct[slot] = last_entry + timing.z;
+            self.acct[slot] = q(last_entry + timing.z);
         }
         self.stats.elements[slot] += vl as u64;
         self.vector_retire(
@@ -1289,7 +1421,7 @@ impl Cpu {
         let slot = pipe_slot(Pipe::LoadStore);
         let p = &mut self.pipes[slot];
         if done > p.next_entry {
-            self.credits[slot].fence += done - p.next_entry;
+            self.credits[slot].fence = q(self.credits[slot].fence + (done - p.next_entry));
             p.next_entry = done;
         }
     }
@@ -1318,6 +1450,7 @@ impl Cpu {
             WaitBreakdown::default()
         };
         let (done, value) = self.cache.read(&mut self.mem, word, start);
+        let done = q(done);
         if P::ENABLED {
             self.scalar_mem_close(probe, pc, before, start, done);
         }
@@ -1351,13 +1484,729 @@ impl Cpu {
         } else {
             WaitBreakdown::default()
         };
-        let done = self.cache.write(&mut self.mem, word, value, start);
+        let done = q(self.cache.write(&mut self.mem, word, value, start));
         if P::ENABLED {
             self.scalar_mem_close(probe, pc, before, start, done);
         }
         self.fence_vector_stream(done);
         self.end = self.end.max(done);
         Ok(())
+    }
+
+    // ---- steady-state fast-forward ------------------------------------
+    //
+    // Detection and the exactness argument live in the `fastfwd` module;
+    // this section supplies the machine-specific pieces: the discrete
+    // key, the canonical field visit order (snapshot and translation MUST
+    // agree), the per-instruction path recording, and the functional
+    // "warp" replay of recorded periods.
+
+    fn ff_banks(&self) -> u32 {
+        self.mem.config().banks
+    }
+
+    /// Discrete state that must match exactly for two loop-head arrivals
+    /// to be candidate period endpoints. The clock phases force the
+    /// period's clock delta to be a multiple of the refresh period and of
+    /// the contention pattern period, which is what preserves all modular
+    /// arithmetic under translation.
+    fn ff_key(&self) -> Vec<u64> {
+        let mc = self.mem.config();
+        let mut key = Vec::with_capacity(6 + 2 * self.active.len());
+        key.push(u64::from(self.vl));
+        key.push(u64::from(self.tflag));
+        key.push(self.active.len() as u64);
+        for av in &self.active {
+            key.push(u64::from(u32::from_le_bytes(av.pair_reads)));
+            key.push(u64::from(u32::from_le_bytes(av.pair_writes)));
+        }
+        // Phases are compared as integer tick residues: the clock is
+        // canonical on the 1/20 grid, so its tick count is exact and the
+        // residues repeat bitwise whenever the true phase repeats.
+        let clock_ticks = (self.clock * TICKS_PER_CYCLE).round() as u64;
+        if mc.refresh_enabled {
+            key.push(clock_ticks % (mc.refresh_period * TICKS_PER_CYCLE as u64));
+        }
+        let pp = mc.contention.pattern_period(mc.banks);
+        if pp > 1 {
+            key.push(clock_ticks % (pp * TICKS_PER_CYCLE as u64));
+        }
+        key
+    }
+
+    /// Full timing-state snapshot. `fields[0]` must be the clock, and the
+    /// visit order here must match [`Cpu::ff_apply_shift`] exactly.
+    fn ff_snapshot<P: Probe>(&self, probe: &P, executed: u64) -> Snapshot {
+        let mut fields = Vec::with_capacity(
+            26 + Lane::COUNT + 2 * 8 * VLEN + self.active.len() + self.mem.bank_state().len(),
+        );
+        fields.push(self.clock);
+        fields.push(self.end);
+        fields.push(self.scalar_mem_fence);
+        for p in &self.pipes {
+            fields.push(p.next_entry);
+            fields.push(p.issue_gate);
+        }
+        fields.extend_from_slice(&self.a_ready);
+        fields.extend_from_slice(&self.s_ready);
+        fields.extend_from_slice(&self.acct);
+        for c in &self.credits {
+            fields.push(c.bubble);
+            fields.push(c.reduction);
+            fields.push(c.fence);
+        }
+        for v in &self.vready {
+            fields.extend_from_slice(v);
+        }
+        for v in &self.vread_until {
+            fields.extend_from_slice(v);
+        }
+        for av in &self.active {
+            fields.push(av.end);
+        }
+        fields.extend_from_slice(self.mem.bank_state());
+        Snapshot {
+            key: self.ff_key(),
+            fields,
+            mem_accesses: self.mem.access_count(),
+            mem_waited: self.mem.wait_cycles(),
+            mem_breakdown: self.mem.wait_breakdown(),
+            probe: probe.ff_counters().unwrap_or_default(),
+            executed,
+        }
+    }
+
+    /// Translates every timing field by `k` periods. Same visit order as
+    /// [`Cpu::ff_snapshot`]. Deltas are in ticks; the translation runs
+    /// in integer tick arithmetic so it reproduces the canonical grid
+    /// values the naive run would have stored.
+    fn ff_apply_shift(&mut self, rec: &PeriodRecord, k: u64) {
+        let kf = k as f64;
+        let mut it = rec.field_deltas.iter();
+        {
+            let mut shift = |f: &mut f64| {
+                *f =
+                    fastfwd::translate_ticks(*f, *it.next().expect("fast-forward field count"), kf);
+            };
+            shift(&mut self.clock);
+            shift(&mut self.end);
+            shift(&mut self.scalar_mem_fence);
+            for p in &mut self.pipes {
+                shift(&mut p.next_entry);
+                shift(&mut p.issue_gate);
+            }
+            for r in &mut self.a_ready {
+                shift(r);
+            }
+            for r in &mut self.s_ready {
+                shift(r);
+            }
+            for r in &mut self.acct {
+                shift(r);
+            }
+            for c in &mut self.credits {
+                shift(&mut c.bubble);
+                shift(&mut c.reduction);
+                shift(&mut c.fence);
+            }
+            for v in &mut self.vready {
+                for r in v.iter_mut() {
+                    shift(r);
+                }
+            }
+            for v in &mut self.vread_until {
+                for r in v.iter_mut() {
+                    shift(r);
+                }
+            }
+            for av in &mut self.active {
+                shift(&mut av.end);
+            }
+            for b in self.mem.bank_state_mut() {
+                shift(b);
+            }
+        }
+        assert!(it.next().is_none(), "fast-forward field order drift");
+        self.mem
+            .ff_apply(rec.mem_accesses, rec.mem_waited, rec.mem_breakdown, k);
+    }
+
+    /// Drives the detector at a taken backward branch to `target`.
+    /// Returns true when a verified period record is armed for warping.
+    fn ff_loop_head<P: Probe>(&mut self, probe: &mut P, target: usize, executed: u64) -> bool {
+        let h = hash_words(&self.ff_key());
+        match self.ff.arrival(target, h) {
+            ArrivalAction::Nothing => false,
+            ArrivalAction::Snapshot(why) => {
+                let snap = self.ff_snapshot(probe, executed);
+                match why {
+                    SnapshotWhy::Base => {
+                        self.ff.begin(snap);
+                        false
+                    }
+                    SnapshotWhy::Measure => {
+                        self.ff.measure(snap);
+                        false
+                    }
+                    SnapshotWhy::Confirm => self.ff.confirm(snap),
+                }
+            }
+        }
+    }
+
+    /// Captures the verification payload of an instruction about to be
+    /// recorded (before execution, so operand registers are pre-step).
+    fn ff_prestep(&mut self, ins: &Instruction) -> PreRec {
+        use Instruction::*;
+        match ins {
+            VLoad { addr, .. } | VStore { addr, .. } => {
+                let vl = self.vl;
+                let residue = if vl == 0 {
+                    0
+                } else {
+                    (self.element_addr(*addr, 0) % u64::from(self.ff_banks())) as u32
+                };
+                PreRec::VecMem {
+                    residue,
+                    stride: addr.stride.words(),
+                    vl,
+                }
+            }
+            SLoad { addr, .. } => PreRec::SMem {
+                residue: self.ff_scalar_residue(*addr),
+                hits_before: self.cache.hits(),
+                store: false,
+            },
+            SStore { addr, .. } => PreRec::SMem {
+                residue: self.ff_scalar_residue(*addr),
+                hits_before: self.cache.hits(),
+                store: true,
+            },
+            _ => PreRec::Plain,
+        }
+    }
+
+    fn ff_scalar_residue(&self, addr: MemRef) -> u32 {
+        self.scalar_addr(addr)
+            .map(|w| (w % u64::from(self.ff_banks())) as u32)
+            .unwrap_or(0)
+    }
+
+    /// Finalizes a recorded step after execution (cache hit/miss outcome
+    /// is only known post-step).
+    fn ff_poststep(&mut self, pc: usize, pre: PreRec) {
+        let check = match pre {
+            PreRec::Plain => StepCheck::Plain,
+            PreRec::VecMem {
+                residue,
+                stride,
+                vl,
+            } => StepCheck::VecMem {
+                residue,
+                stride,
+                vl,
+            },
+            PreRec::SMem {
+                residue,
+                hits_before,
+                store,
+            } => StepCheck::SMem {
+                residue,
+                hit: self.cache.hits() > hits_before,
+                store,
+            },
+        };
+        self.ff.push_step(Step {
+            pc: pc as u32,
+            check,
+        });
+    }
+
+    /// Replays the verified period functionally as many times as the
+    /// program keeps following it, then translates all timing state.
+    /// Returns the number of instructions skipped over.
+    fn ff_warp<P: Probe>(
+        &mut self,
+        probe: &mut P,
+        program: &Program,
+        loop_pc: usize,
+        executed: u64,
+    ) -> u64 {
+        let Some(rec) = self.ff.record.take() else {
+            self.ff.finish_warp();
+            return 0;
+        };
+        if rec.steps.is_empty() || rec.instructions == 0 {
+            self.ff.finish_warp();
+            return 0;
+        }
+        let budget = self.config.max_instructions.saturating_sub(executed) / rec.instructions;
+        // Cap k so every translated field stays far inside the range
+        // where integer f64 arithmetic is exact.
+        let max_d = rec.field_deltas.iter().fold(0.0_f64, |m, d| m.max(d.abs()));
+        let k_cap = if max_d > 0.0 {
+            (1.0e15 / max_d) as u64
+        } else {
+            u64::MAX
+        };
+        let k_max = budget.min(k_cap);
+        // Only vector registers the period writes need checkpointing —
+        // everything else it touches is either scalar (cheap to copy) or
+        // journaled (memory pokes, cache tags).
+        let mut written = [false; VREGS];
+        for step in &rec.steps {
+            if let Some(d) = program
+                .instructions()
+                .get(step.pc as usize)
+                .and_then(written_vreg)
+            {
+                written[d] = true;
+            }
+        }
+        let mut scratch = WarpScratch {
+            a: self.a,
+            s: self.s,
+            vl: self.vl,
+            tflag: self.tflag,
+            vdata: self.vdata.clone(),
+            written,
+            stats: self.stats.clone(),
+            cache_mark: self.cache.checkpoint(),
+            cache_log: Vec::new(),
+            undo: Vec::new(),
+            undo_data: Vec::new(),
+        };
+        let mut k: u64 = 0;
+        while k < k_max {
+            scratch.a = self.a;
+            scratch.s = self.s;
+            scratch.vl = self.vl;
+            scratch.tflag = self.tflag;
+            for (d, row) in scratch.vdata.iter_mut().enumerate() {
+                if scratch.written[d] {
+                    *row = self.vdata[d];
+                }
+            }
+            scratch.stats.clone_from(&self.stats);
+            scratch.cache_mark = self.cache.checkpoint();
+            scratch.cache_log.clear();
+            scratch.undo.clear();
+            scratch.undo_data.clear();
+            if self.warp_one(program, &rec, loop_pc, &mut scratch) {
+                k += 1;
+            } else {
+                // Roll the half-replayed iteration back; exact simulation
+                // re-runs it (loop exits and strip-length changes land
+                // here).
+                for u in scratch.undo.iter().rev() {
+                    match *u {
+                        UndoRec::Word(addr, old) => self.mem.poke(addr, old),
+                        UndoRec::Run { base, off, len } => self
+                            .mem
+                            .poke_run(base, len)
+                            .expect("undo run was in bounds when journaled")
+                            .copy_from_slice(&scratch.undo_data[off..off + len]),
+                    }
+                }
+                self.cache.rollback(scratch.cache_mark, &scratch.cache_log);
+                self.a = scratch.a;
+                self.s = scratch.s;
+                self.vl = scratch.vl;
+                self.tflag = scratch.tflag;
+                for (d, row) in self.vdata.iter_mut().enumerate() {
+                    if scratch.written[d] {
+                        *row = scratch.vdata[d];
+                    }
+                }
+                self.stats.clone_from(&scratch.stats);
+                break;
+            }
+        }
+        if k > 0 {
+            self.ff_apply_shift(&rec, k);
+            probe.ff_apply(&rec.probe_deltas, k as f64);
+        }
+        self.ff.finish_warp();
+        k * rec.instructions
+    }
+
+    /// One functional pass over the recorded period. Returns false (for
+    /// rollback) at the first deviation from the recorded path.
+    fn warp_one(
+        &mut self,
+        program: &Program,
+        rec: &PeriodRecord,
+        loop_pc: usize,
+        scratch: &mut WarpScratch,
+    ) -> bool {
+        let instrs = program.instructions();
+        let mut cur = loop_pc;
+        for step in &rec.steps {
+            if cur != step.pc as usize {
+                return false;
+            }
+            let Some(ins) = instrs.get(cur) else {
+                return false;
+            };
+            match self.warp_step(program, ins, cur, step, scratch) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+        cur == loop_pc
+    }
+
+    /// Functional-only execution of one instruction during a warp:
+    /// register and memory *data* semantics, statistics, cache tags —
+    /// no clocks, no grants, no probes. Mirrors [`Cpu::step`]'s data
+    /// effects exactly; any mismatch with the recorded check returns
+    /// `None`.
+    fn warp_step(
+        &mut self,
+        program: &Program,
+        ins: &Instruction,
+        pc: usize,
+        step: &Step,
+        scratch: &mut WarpScratch,
+    ) -> Option<usize> {
+        use Instruction::*;
+        self.stats.instructions.bump(ins.class());
+        match ins {
+            VLoad { addr, dst } => self.warp_vload(step, *addr, *dst)?,
+            VStore { src, addr } => self.warp_vstore(step, *src, *addr, scratch)?,
+            VAdd { a, b, dst } => self.warp_arith(step, ins, *a, *b, *dst, |x, y| x + y)?,
+            VSub { a, b, dst } => self.warp_arith(step, ins, *a, *b, *dst, |x, y| x - y)?,
+            VMul { a, b, dst } => self.warp_arith(step, ins, *a, *b, *dst, |x, y| x * y)?,
+            VDiv { a, b, dst } => self.warp_arith(step, ins, *a, *b, *dst, |x, y| x / y)?,
+            VNeg { src, dst } => self.warp_arith(
+                step,
+                ins,
+                VOperand::V(*src),
+                VOperand::V(*src),
+                *dst,
+                |x, _| -x,
+            )?,
+            VSum { src, dst } => self.warp_reduce(step, ins, *src, *dst, false, 1.0)?,
+            VRAdd { src, acc } => self.warp_reduce(step, ins, *src, *acc, true, 1.0)?,
+            VRSub { src, acc } => self.warp_reduce(step, ins, *src, *acc, true, -1.0)?,
+            SetVl { src } => {
+                plain_check(step)?;
+                let i = usize::from(src.index());
+                self.vl = (self.s[i] as i64).clamp(0, i64::from(MAX_VL)) as u32;
+            }
+            SetVlImm { value } => {
+                plain_check(step)?;
+                self.vl = (*value).min(MAX_VL);
+            }
+            SMovImm { value, dst } => {
+                plain_check(step)?;
+                let bits = match value {
+                    ScalarValue::Int(i) => *i as u64,
+                    ScalarValue::Fp(x) => x.to_bits(),
+                };
+                self.warp_write_scalar(*dst, bits);
+            }
+            SMov { src, dst } => {
+                plain_check(step)?;
+                let (bits, _) = self.read_scalar_raw(*src);
+                self.warp_write_scalar(*dst, bits);
+            }
+            SIntOp { op, src, dst } => {
+                plain_check(step)?;
+                let (sv, _) = self.read_int_operand(*src);
+                let (dv, _) = self.read_scalar_int(*dst);
+                self.warp_write_scalar(*dst, op.apply(dv, sv) as u64);
+            }
+            SFpOp { op, a, b, dst } => {
+                plain_check(step)?;
+                let va = f64::from_bits(self.s[usize::from(a.index())]);
+                let vb = f64::from_bits(self.s[usize::from(b.index())]);
+                self.s[usize::from(dst.index())] = op.apply(va, vb).to_bits();
+            }
+            SLoad { addr, dst } => {
+                let StepCheck::SMem {
+                    residue,
+                    hit,
+                    store: false,
+                } = step.check
+                else {
+                    return None;
+                };
+                let word = self.scalar_addr(*addr).ok()?;
+                if self.cache.tag_read_logged(word, &mut scratch.cache_log) != hit {
+                    return None;
+                }
+                if !hit && (word % u64::from(self.ff_banks())) as u32 != residue {
+                    return None;
+                }
+                let value = self.mem.peek(word);
+                self.warp_write_scalar(*dst, encode_loaded(*dst, value));
+            }
+            SStore { src, addr } => {
+                let StepCheck::SMem {
+                    residue,
+                    hit,
+                    store: true,
+                } = step.check
+                else {
+                    return None;
+                };
+                let word = self.scalar_addr(*addr).ok()?;
+                if (word % u64::from(self.ff_banks())) as u32 != residue {
+                    return None;
+                }
+                if self.cache.tag_write_logged(word, &mut scratch.cache_log) != hit {
+                    return None;
+                }
+                let (bits, _) = self.read_scalar_raw(*src);
+                let value = match src {
+                    ScalarReg::S(_) => f64::from_bits(bits),
+                    ScalarReg::A(_) => bits as i64 as f64,
+                };
+                scratch.undo.push(UndoRec::Word(word, self.mem.peek(word)));
+                self.mem.poke(word, value);
+            }
+            Cmp { op, lhs, rhs } => {
+                plain_check(step)?;
+                let (lv, _) = self.read_int_operand(*lhs);
+                let (rv, _) = self.read_scalar_int(*rhs);
+                self.tflag = op.apply(lv, rv);
+            }
+            BranchT { target } | BranchF { target } => {
+                plain_check(step)?;
+                let take = if matches!(ins, BranchT { .. }) {
+                    self.tflag
+                } else {
+                    !self.tflag
+                };
+                if take {
+                    self.stats.branches_taken += 1;
+                    return Some(self.resolve(program, target));
+                }
+            }
+            Jump { target } => {
+                plain_check(step)?;
+                self.stats.branches_taken += 1;
+                return Some(self.resolve(program, target));
+            }
+            Nop => plain_check(step)?,
+            _ => return None,
+        }
+        Some(pc + 1)
+    }
+
+    fn warp_write_scalar(&mut self, r: ScalarReg, bits: u64) {
+        match r {
+            ScalarReg::S(s) => self.s[usize::from(s.index())] = bits,
+            ScalarReg::A(a) => self.a[usize::from(a.index())] = bits as i64,
+        }
+    }
+
+    fn warp_vload(&mut self, step: &Step, addr: MemRef, dst: VReg) -> Option<()> {
+        let StepCheck::VecMem {
+            residue,
+            stride,
+            vl,
+        } = step.check
+        else {
+            return None;
+        };
+        if self.vl != vl || addr.stride.words() != stride {
+            return None;
+        }
+        let n = vl as usize;
+        if n == 0 {
+            return Some(());
+        }
+        let base = self.element_addr(addr, 0);
+        if (base % u64::from(self.ff_banks())) as u32 != residue {
+            return None;
+        }
+        let d = usize::from(dst.index());
+        if stride == 1 {
+            self.vdata[d][..n].copy_from_slice(self.mem.peek_run(base, n)?);
+        } else {
+            for e in 0..n {
+                let word = self.element_addr(addr, e);
+                let value = self.mem.peek(word);
+                self.vdata[d][e] = value;
+            }
+        }
+        self.stats.elements[0] += u64::from(vl);
+        Some(())
+    }
+
+    fn warp_vstore(
+        &mut self,
+        step: &Step,
+        src: VReg,
+        addr: MemRef,
+        scratch: &mut WarpScratch,
+    ) -> Option<()> {
+        let StepCheck::VecMem {
+            residue,
+            stride,
+            vl,
+        } = step.check
+        else {
+            return None;
+        };
+        if self.vl != vl || addr.stride.words() != stride {
+            return None;
+        }
+        let n = vl as usize;
+        if n == 0 {
+            return Some(());
+        }
+        let base = self.element_addr(addr, 0);
+        if (base % u64::from(self.ff_banks())) as u32 != residue {
+            return None;
+        }
+        let si = usize::from(src.index());
+        if stride == 1 {
+            let off = scratch.undo_data.len();
+            scratch
+                .undo_data
+                .extend_from_slice(self.mem.peek_run(base, n)?);
+            scratch.undo.push(UndoRec::Run { base, off, len: n });
+            self.mem
+                .poke_run(base, n)
+                .expect("peek_run already bounds-checked the run")
+                .copy_from_slice(&self.vdata[si][..n]);
+            self.cache
+                .invalidate_run_logged(base, n, &mut scratch.cache_log);
+        } else {
+            let values = self.vdata[si];
+            for (e, &value) in values.iter().enumerate().take(n) {
+                let word = self.element_addr(addr, e);
+                scratch.undo.push(UndoRec::Word(word, self.mem.peek(word)));
+                self.mem.poke(word, value);
+                self.cache.invalidate_logged(word, &mut scratch.cache_log);
+            }
+        }
+        self.stats.elements[0] += u64::from(vl);
+        Some(())
+    }
+
+    fn warp_arith(
+        &mut self,
+        step: &Step,
+        ins: &Instruction,
+        a: VOperand,
+        b: VOperand,
+        dst: VReg,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Option<()> {
+        plain_check(step)?;
+        let vl = self.vl as usize;
+        if vl == 0 {
+            return Some(());
+        }
+        let slot = pipe_slot(ins.pipe().expect("vector arith pipe"));
+        let va = self.operand_values(a);
+        let vb = self.operand_values(b);
+        let d = usize::from(dst.index());
+        for e in 0..vl {
+            self.vdata[d][e] = f(va[e], vb[e]);
+        }
+        self.stats.elements[slot] += vl as u64;
+        self.stats.flops += vl as u64;
+        Some(())
+    }
+
+    fn warp_reduce(
+        &mut self,
+        step: &Step,
+        ins: &Instruction,
+        src: VReg,
+        dst: SReg,
+        accumulate: bool,
+        sign: f64,
+    ) -> Option<()> {
+        // Unreachable in practice — the reduction element rate (Z = 1.35)
+        // yields fractional deltas that never pass the integer guard —
+        // but kept faithful to `vector_reduce_signed` regardless.
+        plain_check(step)?;
+        let vl = self.vl as usize;
+        if vl == 0 {
+            return Some(());
+        }
+        let slot = pipe_slot(ins.pipe().expect("reduction pipe"));
+        let d = usize::from(dst.index());
+        let s: f64 = self.vdata[usize::from(src.index())][..vl].iter().sum();
+        let base = if accumulate {
+            f64::from_bits(self.s[d])
+        } else {
+            0.0
+        };
+        self.s[d] = (base + sign * s).to_bits();
+        self.stats.elements[slot] += vl as u64;
+        self.stats.flops += vl as u64;
+        Some(())
+    }
+}
+
+fn plain_check(step: &Step) -> Option<()> {
+    if step.check == StepCheck::Plain {
+        Some(())
+    } else {
+        None
+    }
+}
+
+/// Pre-execution half of a recorded step (see [`Cpu::ff_prestep`]).
+enum PreRec {
+    Plain,
+    VecMem {
+        residue: u32,
+        stride: i64,
+        vl: u32,
+    },
+    SMem {
+        residue: u32,
+        hits_before: u64,
+        store: bool,
+    },
+}
+
+/// Reusable rollback buffers for the warp replay: one checkpoint of the
+/// functional state, refreshed before each replayed iteration. Memory
+/// pokes and cache tag changes are journaled (`undo` / `cache_log`)
+/// rather than checkpointed, and only vector registers in the period's
+/// write set (`written`) are copied.
+struct WarpScratch {
+    a: [i64; 8],
+    s: [u64; 8],
+    vl: u32,
+    tflag: bool,
+    vdata: Vec<[f64; VLEN]>,
+    written: [bool; VREGS],
+    stats: RunStats,
+    cache_mark: (u64, u64),
+    cache_log: Vec<(usize, Option<u64>)>,
+    undo: Vec<UndoRec>,
+    undo_data: Vec<f64>,
+}
+
+/// One journaled memory mutation; `Run` points into
+/// [`WarpScratch::undo_data`].
+enum UndoRec {
+    Word(u64, f64),
+    Run { base: u64, off: usize, len: usize },
+}
+
+/// The vector register an instruction writes, if any — the warp replay
+/// only checkpoints these.
+fn written_vreg(ins: &Instruction) -> Option<usize> {
+    use Instruction::*;
+    match ins {
+        VLoad { dst, .. }
+        | VAdd { dst, .. }
+        | VSub { dst, .. }
+        | VMul { dst, .. }
+        | VDiv { dst, .. }
+        | VNeg { dst, .. } => Some(usize::from(dst.index())),
+        _ => None,
     }
 }
 

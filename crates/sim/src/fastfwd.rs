@@ -1,0 +1,620 @@
+//! Steady-state fast-forward: detect that a loop's *timing* state has
+//! become exactly periodic, then skip whole periods analytically while
+//! executing only the functional (data) semantics of the skipped
+//! iterations.
+//!
+//! # How detection works
+//!
+//! Every taken backward branch is a potential loop boundary. At each
+//! arrival at a loop head the CPU computes a cheap *key* — vector
+//! length, T-flag, active register-pair claims, and the clock phase
+//! modulo the refresh period and the contention pattern period. When the
+//! key repeats, the iteration count between the repeats is a candidate
+//! period `m`, and the detector runs a three-snapshot protocol:
+//!
+//! 1. **Measure**: snapshot the full timing state `S0` now and `S1`
+//!    after `m` more arrivals; require every per-field delta to be an
+//!    integer number of *ticks* (1/20 cycle) between two canonical grid
+//!    values ([`grid_exact_delta`]).
+//! 2. **Confirm**: record the executed instruction path for one more
+//!    period and snapshot `S2`; require `S2−S1` to equal `S1−S0`
+//!    bitwise, field for field (including memory-system and probe
+//!    counter deltas).
+//! 3. **Warp**: replay the recorded path *functionally* (registers,
+//!    memory data, cache tags — no timing) as long as the program
+//!    follows it exactly, then translate every timing field by `k`
+//!    periods in tick arithmetic and add `k` times the per-period
+//!    deltas to every counter.
+//!
+//! # Why this is bit-exact
+//!
+//! Every timing parameter of the machine — including the 1.35-cycle
+//! reduction element rate — is a multiple of 1/20 cycle, and the
+//! simulator quantizes every stored timestamp to the canonical `f64` of
+//! its 1/20 grid point ([`c240_isa::timing::quantize`]). A stored field
+//! is therefore a pure function of its integer tick count, tick deltas
+//! between snapshots are exact integer `f64` arithmetic below 2⁵³, and
+//! [`translate_ticks`] reproduces bitwise the value the naive run would
+//! have stored after `k` more periods. The key's phase components
+//! guarantee the period's tick delta is a multiple of the refresh
+//! period and of the contention pattern period, so modular clock
+//! arithmetic is preserved too. Anything outside these preconditions —
+//! a field that is somehow not canonical, a changed counter layout, a
+//! changed instruction path or bank-residue pattern — fails a check and
+//! the run falls back to exact element stepping, which is always
+//! correct: missed quantization can only cost engagement, never
+//! exactness.
+
+use c240_mem::WaitBreakdown;
+
+/// Per-instruction verification payload recorded for one loop period.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum StepCheck {
+    /// No timing-relevant operands beyond the instruction itself.
+    Plain,
+    /// Vector memory op: first-element bank residue, stride and VL must
+    /// repeat for the recorded grant pattern to stay valid.
+    VecMem { residue: u32, stride: i64, vl: u32 },
+    /// Scalar memory op: cache hit/miss outcome (and bank residue for
+    /// accesses that reach memory) must repeat.
+    SMem {
+        residue: u32,
+        hit: bool,
+        store: bool,
+    },
+}
+
+/// One executed instruction of the recorded period.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Step {
+    pub pc: u32,
+    pub check: StepCheck,
+}
+
+/// A full snapshot of everything that must evolve periodically.
+#[derive(Debug, Clone)]
+pub(crate) struct Snapshot {
+    /// Discrete state that must match *exactly* between periods.
+    pub key: Vec<u64>,
+    /// Every `f64` timing field, in the CPU's canonical visit order.
+    pub fields: Vec<f64>,
+    pub mem_accesses: u64,
+    pub mem_waited: f64,
+    pub mem_breakdown: WaitBreakdown,
+    pub probe: Vec<f64>,
+    /// Instructions executed since the start of the run.
+    pub executed: u64,
+}
+
+/// The verified per-period deltas plus the recorded instruction path.
+/// All `f64` deltas are in integer *ticks* (1/20 cycle); counts are in
+/// their native units.
+#[derive(Debug, Clone)]
+pub(crate) struct PeriodRecord {
+    pub steps: Vec<Step>,
+    pub field_deltas: Vec<f64>,
+    pub mem_accesses: u64,
+    pub mem_waited: f64,
+    pub mem_breakdown: WaitBreakdown,
+    pub probe_deltas: Vec<f64>,
+    pub instructions: u64,
+}
+
+/// Largest tick magnitude a timing field may reach after translation
+/// while integer `f64` arithmetic is still exact (with margin below 2⁵³).
+const MAX_EXACT: f64 = 4.0e15;
+
+use c240_isa::timing::TICKS_PER_CYCLE;
+
+/// The per-period delta between two timing values, in integer *ticks*
+/// (1/20 cycle, the machine's timing quantum), or `None` when the pair
+/// cannot be translated exactly.
+///
+/// Both endpoints must be the *canonical* `f64` for their grid point
+/// (which [`c240_isa::timing::quantize`] guarantees for every stored
+/// timing field). Canonical endpoints make the value a pure function of
+/// its integer tick count, so `translate_ticks(x, d, k)` reproduces the
+/// naive run's value after `k` periods bitwise.
+fn grid_exact_delta(x: f64, y: f64) -> Option<f64> {
+    let tx = (x * TICKS_PER_CYCLE).round();
+    let ty = (y * TICKS_PER_CYCLE).round();
+    if tx.abs() > MAX_EXACT || ty.abs() > MAX_EXACT {
+        return None;
+    }
+    if (tx / TICKS_PER_CYCLE).to_bits() != x.to_bits()
+        || (ty / TICKS_PER_CYCLE).to_bits() != y.to_bits()
+    {
+        return None;
+    }
+    Some(ty - tx)
+}
+
+/// Translates the canonical grid value `x` by `k` periods of `d_ticks`
+/// ticks each. Exact: the tick arithmetic is integer `f64` below 2⁵³,
+/// and the final division re-canonicalizes.
+pub(crate) fn translate_ticks(x: f64, d_ticks: f64, k: f64) -> f64 {
+    ((x * TICKS_PER_CYCLE).round() + k * d_ticks) / TICKS_PER_CYCLE
+}
+
+/// Computes the per-period deltas between two snapshots, or `None` when
+/// the pair cannot prove exact periodicity (key mismatch, non-integer or
+/// non-translatable delta, counter-set changes).
+pub(crate) fn diff_snapshots(a: &Snapshot, b: &Snapshot) -> Option<PeriodRecord> {
+    if a.key != b.key || a.fields.len() != b.fields.len() || a.probe.len() != b.probe.len() {
+        return None;
+    }
+    let mut field_deltas = Vec::with_capacity(a.fields.len());
+    for (&x, &y) in a.fields.iter().zip(&b.fields) {
+        field_deltas.push(grid_exact_delta(x, y)?);
+    }
+    // fields[0] is the clock: its tick delta must be strictly positive.
+    if *field_deltas.first()? <= 0.0 {
+        return None;
+    }
+    let mut probe_deltas = Vec::with_capacity(a.probe.len());
+    for (&x, &y) in a.probe.iter().zip(&b.probe) {
+        probe_deltas.push(grid_exact_delta(x, y)?);
+    }
+    let mem_waited = grid_exact_delta(a.mem_waited, b.mem_waited)?;
+    let mem_breakdown = WaitBreakdown {
+        bank_busy: grid_exact_delta(a.mem_breakdown.bank_busy, b.mem_breakdown.bank_busy)?,
+        refresh: grid_exact_delta(a.mem_breakdown.refresh, b.mem_breakdown.refresh)?,
+        contention: grid_exact_delta(a.mem_breakdown.contention, b.mem_breakdown.contention)?,
+    };
+    Some(PeriodRecord {
+        steps: Vec::new(),
+        field_deltas,
+        mem_accesses: b.mem_accesses.checked_sub(a.mem_accesses)?,
+        mem_waited,
+        mem_breakdown,
+        probe_deltas,
+        instructions: b.executed.checked_sub(a.executed)?,
+    })
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Whether two period measurements agree bitwise (same deltas, same
+/// counters, same path length).
+pub(crate) fn periods_agree(a: &PeriodRecord, b: &PeriodRecord) -> bool {
+    bits_equal(&a.field_deltas, &b.field_deltas)
+        && bits_equal(&a.probe_deltas, &b.probe_deltas)
+        && a.mem_accesses == b.mem_accesses
+        && a.mem_waited.to_bits() == b.mem_waited.to_bits()
+        && a.mem_breakdown.bank_busy.to_bits() == b.mem_breakdown.bank_busy.to_bits()
+        && a.mem_breakdown.refresh.to_bits() == b.mem_breakdown.refresh.to_bits()
+        && a.mem_breakdown.contention.to_bits() == b.mem_breakdown.contention.to_bits()
+        && a.instructions == b.instructions
+}
+
+/// FNV-1a over 64-bit words — cheap, deterministic, dependency-free.
+pub(crate) fn hash_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    Idle,
+    /// Waiting for arrival number `target` at `loop_pc` to take `S1`.
+    Measure {
+        target: u64,
+    },
+    /// Recording the path; waiting for arrival `target` to take `S2`.
+    Confirm {
+        target: u64,
+    },
+}
+
+/// Detection state machine. Owned by the CPU; one candidate in flight.
+#[derive(Debug, Clone)]
+pub(crate) struct FastForward {
+    pub enabled: bool,
+    dead: bool,
+    failures: u32,
+    phase: Phase,
+    loop_pc: usize,
+    period_m: u64,
+    base: Option<Snapshot>,
+    first: Option<PeriodRecord>,
+    pub record: Option<PeriodRecord>,
+    steps: Vec<Step>,
+    recording: bool,
+    /// Arrival counts per branch target.
+    counts: std::collections::HashMap<usize, u64>,
+    /// Per branch target: key hash → most recent arrival count with that
+    /// key. O(1) per arrival; overwriting keeps the most recent match,
+    /// which yields the smallest (innermost) candidate period.
+    history: std::collections::HashMap<usize, std::collections::HashMap<u64, u64>>,
+    /// Failed candidates per branch target. A loop head whose key
+    /// repeats without its timing state being periodic (phase
+    /// collisions under refresh are common in short strip loops) gets
+    /// blacklisted after a few attempts so it cannot starve a detectable
+    /// outer loop of the candidate slot or burn the global budget.
+    failed: std::collections::HashMap<usize, u32>,
+}
+
+/// Total failed candidates before detection is disabled for the run.
+const FAIL_BUDGET: u32 = 256;
+/// Failed candidates at a single loop head before that head is ignored.
+const PC_FAIL_BUDGET: u32 = 4;
+// The refresh phase realigns within 20 · 400 = 8000 arrivals in the
+// worst case (one-tick-per-period drift), so admit periods that long.
+const MAX_PERIOD_ITERS: u64 = 8192;
+const MAX_PERIOD_STEPS: usize = 1 << 17;
+const HIST_CAP: usize = 8192;
+const MAX_TRACKED_PCS: usize = 16;
+
+impl FastForward {
+    pub fn new() -> Self {
+        FastForward {
+            enabled: false,
+            dead: false,
+            failures: 0,
+            phase: Phase::Idle,
+            loop_pc: 0,
+            period_m: 0,
+            base: None,
+            first: None,
+            record: None,
+            steps: Vec::new(),
+            recording: false,
+            counts: std::collections::HashMap::new(),
+            history: std::collections::HashMap::new(),
+            failed: std::collections::HashMap::new(),
+        }
+    }
+
+    pub fn active(&self) -> bool {
+        self.enabled && !self.dead
+    }
+
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    pub fn push_step(&mut self, step: Step) {
+        if self.steps.len() >= MAX_PERIOD_STEPS {
+            self.abort_candidate();
+            return;
+        }
+        self.steps.push(step);
+    }
+
+    fn abort_candidate(&mut self) {
+        let was_candidate = !matches!(self.phase, Phase::Idle);
+        self.phase = Phase::Idle;
+        self.base = None;
+        self.first = None;
+        self.steps = Vec::new();
+        self.recording = false;
+        self.failures += 1;
+        if was_candidate {
+            let pc_failures = self.failed.entry(self.loop_pc).or_insert(0);
+            *pc_failures += 1;
+            if *pc_failures >= PC_FAIL_BUDGET {
+                // Stop even hashing keys for this head.
+                self.history.remove(&self.loop_pc);
+            }
+        }
+        if self.failures >= FAIL_BUDGET {
+            self.dead = true;
+            self.counts = std::collections::HashMap::new();
+            self.history = std::collections::HashMap::new();
+        }
+    }
+
+    /// Registers an arrival at branch target `pc` with key hash `h`.
+    /// Returns the candidate period when a measurement should start (the
+    /// caller then supplies the base snapshot via [`Self::begin`]).
+    pub fn arrival(&mut self, pc: usize, h: u64) -> ArrivalAction {
+        let count = {
+            let c = self.counts.entry(pc).or_insert(0);
+            *c += 1;
+            *c
+        };
+        match self.phase {
+            Phase::Idle => {
+                if self.failed.get(&pc).is_some_and(|&f| f >= PC_FAIL_BUDGET) {
+                    return ArrivalAction::Nothing;
+                }
+                let candidate =
+                    if self.history.len() < MAX_TRACKED_PCS || self.history.contains_key(&pc) {
+                        let seen = self.history.entry(pc).or_default();
+                        let m = seen
+                            .get(&h)
+                            .map(|&rc| count - rc)
+                            .filter(|&m| (1..=MAX_PERIOD_ITERS).contains(&m));
+                        if seen.len() >= HIST_CAP {
+                            // Entries older than the longest admissible period
+                            // can never produce a candidate again.
+                            seen.retain(|_, &mut rc| count - rc < MAX_PERIOD_ITERS);
+                        }
+                        seen.insert(h, count);
+                        m
+                    } else {
+                        None
+                    };
+                match candidate {
+                    Some(m) => {
+                        self.loop_pc = pc;
+                        self.period_m = m;
+                        self.phase = Phase::Measure { target: count + m };
+                        ArrivalAction::Snapshot(SnapshotWhy::Base)
+                    }
+                    None => ArrivalAction::Nothing,
+                }
+            }
+            Phase::Measure { target } if pc == self.loop_pc && count == target => {
+                ArrivalAction::Snapshot(SnapshotWhy::Measure)
+            }
+            Phase::Confirm { target } if pc == self.loop_pc && count == target => {
+                ArrivalAction::Snapshot(SnapshotWhy::Confirm)
+            }
+            _ => ArrivalAction::Nothing,
+        }
+    }
+
+    /// Installs the base snapshot after [`ArrivalAction::Snapshot`]
+    /// with [`SnapshotWhy::Base`].
+    pub fn begin(&mut self, snap: Snapshot) {
+        self.base = Some(snap);
+    }
+
+    /// Consumes the `S1` snapshot; on success recording starts.
+    pub fn measure(&mut self, snap: Snapshot) {
+        let Some(base) = self.base.take() else {
+            self.abort_candidate();
+            return;
+        };
+        match diff_snapshots(&base, &snap) {
+            Some(rec) => {
+                self.first = Some(rec);
+                self.base = Some(snap);
+                self.steps = Vec::new();
+                self.recording = true;
+                let count = self.counts[&self.loop_pc];
+                self.phase = Phase::Confirm {
+                    target: count + self.period_m,
+                };
+            }
+            None => self.abort_candidate(),
+        }
+    }
+
+    /// Consumes the `S2` snapshot; returns true when the period is
+    /// confirmed and [`Self::record`] holds the verified record.
+    pub fn confirm(&mut self, snap: Snapshot) -> bool {
+        self.recording = false;
+        let (Some(base), Some(first)) = (self.base.take(), self.first.take()) else {
+            self.abort_candidate();
+            return false;
+        };
+        match diff_snapshots(&base, &snap) {
+            Some(mut rec) if periods_agree(&first, &rec) => {
+                rec.steps = std::mem::take(&mut self.steps);
+                self.record = Some(rec);
+                self.phase = Phase::Idle;
+                true
+            }
+            _ => {
+                self.abort_candidate();
+                false
+            }
+        }
+    }
+
+    /// Clears all detection state after a warp (successful or not) so a
+    /// later loop can be detected afresh.
+    pub fn finish_warp(&mut self) {
+        self.phase = Phase::Idle;
+        self.base = None;
+        self.first = None;
+        self.record = None;
+        self.steps = Vec::new();
+        self.recording = false;
+        self.counts = std::collections::HashMap::new();
+        self.history = std::collections::HashMap::new();
+    }
+}
+
+/// What the CPU should do at a loop-head arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ArrivalAction {
+    Nothing,
+    Snapshot(SnapshotWhy),
+}
+
+/// Which protocol step the requested snapshot feeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SnapshotWhy {
+    Base,
+    Measure,
+    Confirm,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(fields: Vec<f64>, executed: u64) -> Snapshot {
+        Snapshot {
+            key: vec![1, 2],
+            fields,
+            mem_accesses: 10 * executed,
+            mem_waited: executed as f64,
+            mem_breakdown: WaitBreakdown::default(),
+            probe: vec![],
+            executed,
+        }
+    }
+
+    #[test]
+    fn integer_deltas_accepted_in_ticks() {
+        let a = snap(vec![100.0, 5.0, 0.0], 50);
+        let b = snap(vec![632.0, 537.0, 0.0], 63);
+        let rec = diff_snapshots(&a, &b).unwrap();
+        assert_eq!(rec.field_deltas, vec![10640.0, 10640.0, 0.0]);
+        assert_eq!(rec.instructions, 13);
+        assert_eq!(rec.mem_accesses, 130);
+    }
+
+    #[test]
+    fn grid_deltas_accepted() {
+        // Half cycles and 1.35-cycle reduction steps are grid points.
+        let a = snap(vec![100.0, 5.0], 1);
+        let b = snap(vec![637.5, 542.5], 2);
+        let rec = diff_snapshots(&a, &b).unwrap();
+        assert_eq!(rec.field_deltas, vec![10750.0, 10750.0]);
+        let a = snap(vec![0.0], 1);
+        let b = snap(vec![1.35], 2);
+        assert_eq!(diff_snapshots(&a, &b).unwrap().field_deltas, vec![27.0]);
+    }
+
+    #[test]
+    fn off_grid_value_rejected() {
+        let a = snap(vec![100.0], 1);
+        let b = snap(vec![150.51], 2);
+        assert!(diff_snapshots(&a, &b).is_none());
+    }
+
+    #[test]
+    fn non_canonical_grid_value_rejected() {
+        // 0.1 + 0.2 is near the 0.3 grid point but not its canonical
+        // representation; tick translation could not reproduce it.
+        let drifted: f64 = 0.1 + 0.2;
+        assert_ne!(drifted.to_bits(), 0.3f64.to_bits());
+        let a = snap(vec![0.0], 1);
+        let b = snap(vec![drifted], 2);
+        assert!(diff_snapshots(&a, &b).is_none());
+        // translate_ticks on canonical inputs lands on canonical outputs.
+        assert_eq!(translate_ticks(0.3, 27.0, 2.0), 3.0);
+        assert_eq!(translate_ticks(0.0, 6.0, 1.0), 0.3);
+    }
+
+    #[test]
+    fn key_mismatch_rejected() {
+        let a = snap(vec![100.0], 1);
+        let mut b = snap(vec![500.0], 2);
+        b.key = vec![9];
+        assert!(diff_snapshots(&a, &b).is_none());
+    }
+
+    #[test]
+    fn non_advancing_clock_rejected() {
+        let a = snap(vec![100.0], 1);
+        let b = snap(vec![100.0], 2);
+        assert!(diff_snapshots(&a, &b).is_none());
+    }
+
+    #[test]
+    fn periods_agree_is_bitwise() {
+        let a = snap(vec![0.0, 1.0], 0);
+        let b = snap(vec![532.0, 533.0], 10);
+        let c = snap(vec![1064.0, 1065.0], 20);
+        let r1 = diff_snapshots(&a, &b).unwrap();
+        let r2 = diff_snapshots(&b, &c).unwrap();
+        assert!(periods_agree(&r1, &r2));
+    }
+
+    #[test]
+    fn state_machine_full_protocol() {
+        let mut ff = FastForward::new();
+        ff.enabled = true;
+        // Two arrivals with the same key hash → candidate with m = 1.
+        assert_eq!(ff.arrival(7, 42), ArrivalAction::Nothing);
+        assert_eq!(
+            ff.arrival(7, 42),
+            ArrivalAction::Snapshot(SnapshotWhy::Base)
+        );
+        ff.begin(snap(vec![100.0], 10));
+        assert_eq!(
+            ff.arrival(7, 42),
+            ArrivalAction::Snapshot(SnapshotWhy::Measure)
+        );
+        ff.measure(snap(vec![632.0], 20));
+        assert!(ff.is_recording());
+        ff.push_step(Step {
+            pc: 7,
+            check: StepCheck::Plain,
+        });
+        assert_eq!(
+            ff.arrival(7, 42),
+            ArrivalAction::Snapshot(SnapshotWhy::Confirm)
+        );
+        assert!(ff.confirm(snap(vec![1164.0], 30)));
+        let rec = ff.record.clone().unwrap();
+        assert_eq!(rec.field_deltas, vec![10640.0]);
+        assert_eq!(rec.steps.len(), 1);
+    }
+
+    /// Drives one failing candidate (off-grid measure value) at `pc`.
+    fn fail_candidate_at(ff: &mut FastForward, pc: usize) {
+        loop {
+            if let ArrivalAction::Snapshot(SnapshotWhy::Base) = ff.arrival(pc, 1) {
+                break;
+            }
+        }
+        ff.begin(snap(vec![100.0], 1));
+        loop {
+            if let ArrivalAction::Snapshot(SnapshotWhy::Measure) = ff.arrival(pc, 1) {
+                break;
+            }
+        }
+        // Off-grid value → fail.
+        ff.measure(snap(vec![150.51], 2));
+    }
+
+    #[test]
+    fn noisy_loop_head_is_blacklisted_but_others_still_try() {
+        let mut ff = FastForward::new();
+        ff.enabled = true;
+        for _ in 0..PC_FAIL_BUDGET {
+            assert!(ff.active());
+            fail_candidate_at(&mut ff, 3);
+        }
+        // pc 3 is blacklisted: repeating keys no longer start candidates.
+        for _ in 0..16 {
+            assert_eq!(ff.arrival(3, 1), ArrivalAction::Nothing);
+        }
+        assert!(ff.active(), "one noisy head must not kill detection");
+        // A different head can still become a candidate.
+        assert_eq!(ff.arrival(9, 5), ArrivalAction::Nothing);
+        assert_eq!(ff.arrival(9, 5), ArrivalAction::Snapshot(SnapshotWhy::Base));
+    }
+
+    #[test]
+    fn global_fail_budget_kills_detection() {
+        let mut ff = FastForward::new();
+        ff.enabled = true;
+        // Exhaust one head after another: each blacklisted head frees
+        // its tracking slot, so fresh heads keep failing until the
+        // global budget ends detection for the whole run.
+        let mut pc = 0usize;
+        while ff.active() {
+            for _ in 0..PC_FAIL_BUDGET {
+                if !ff.active() {
+                    break;
+                }
+                fail_candidate_at(&mut ff, pc);
+            }
+            pc += 1;
+            assert!(pc < 1_000, "global budget never tripped");
+        }
+        assert!(!ff.active());
+    }
+
+    #[test]
+    fn hash_is_stable_and_sensitive() {
+        assert_eq!(hash_words(&[1, 2, 3]), hash_words(&[1, 2, 3]));
+        assert_ne!(hash_words(&[1, 2, 3]), hash_words(&[1, 2, 4]));
+    }
+}

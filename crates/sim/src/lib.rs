@@ -51,6 +51,7 @@
 mod config;
 mod cpu;
 mod error;
+mod fastfwd;
 mod stats;
 mod trace;
 

@@ -72,10 +72,19 @@ impl Default for Trace {
 }
 
 impl Trace {
-    /// An empty trace that will keep at most `cap` events.
+    /// An empty trace that will keep at most `cap` events. Storage for
+    /// the capped number of events is reserved up front (bounded at the
+    /// default cap) so a traced hot loop never reallocates mid-run.
     pub fn with_cap(cap: usize) -> Self {
         Trace {
-            events: Vec::new(),
+            // An uncapped trace (usize::MAX, the untraced default) grows
+            // on demand; a finite cap is reserved up front, bounded at
+            // the default cap's ~10 MiB.
+            events: Vec::with_capacity(if cap == usize::MAX {
+                0
+            } else {
+                cap.min(65_536)
+            }),
             cap,
             dropped: 0,
         }

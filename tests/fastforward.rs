@@ -1,0 +1,225 @@
+//! Steady-state fast-forward equivalence tests.
+//!
+//! The fast-forward engine (DESIGN.md, "Steady-state fast-forward") is
+//! only allowed to exist because it is *bit-exact*: a fast-forwarded run
+//! must produce exactly the same cycle count, statistics, memory wait
+//! breakdown, and per-lane stall telemetry as stepping every element.
+//! These tests enforce that contract over the whole LFK suite crossed
+//! with the model ablations and background-contention settings, and also
+//! prove the engine actually engages (a green equivalence suite would be
+//! vacuous if detection never fired).
+
+use c240_mem::ContentionConfig;
+use c240_sim::{CounterProbe, Cpu, RunStats, SimConfig};
+use lfk_suite::LfkKernel;
+
+/// Runs `kernel` under `config`, returning the stats, telemetry, and how
+/// many instructions the run fast-forwarded. Also validates the kernel's
+/// numerical results so we know the functional warp replay stored the
+/// right values, not just the right cycle counts.
+fn run_one(config: SimConfig, kernel: &dyn LfkKernel) -> (RunStats, CounterProbe, u64) {
+    let mut cpu = Cpu::new(config);
+    kernel.setup(&mut cpu);
+    let mut probe = CounterProbe::new();
+    let stats = cpu
+        .run_probed(&kernel.program(), &mut probe)
+        .unwrap_or_else(|e| panic!("LFK{} failed: {e}", kernel.id()));
+    kernel
+        .check(&cpu)
+        .unwrap_or_else(|e| panic!("LFK{} wrong results: {e}", kernel.id()));
+    (stats, probe, cpu.fast_forwarded_instructions())
+}
+
+/// Asserts exact (not approximate) equality between a fast-forwarded and
+/// an element-stepped run of every kernel under `config`. Returns the
+/// total instructions fast-forwarded, so callers can assert engagement.
+fn assert_suite_equivalent(config: SimConfig, label: &str) -> u64 {
+    let mut total_skipped = 0;
+    for kernel in lfk_suite::all() {
+        let kernel = kernel.as_ref();
+        let (fast, fast_probe, skipped) = run_one(config.clone(), kernel);
+        let (exact, exact_probe, exact_skipped) =
+            run_one(config.clone().without_fast_forward(), kernel);
+        assert_eq!(exact_skipped, 0, "fast_forward=false must never warp");
+        // RunStats derives PartialEq over f64 fields, so this is bitwise
+        // cycle/stat equality — it covers cycles, instruction classes,
+        // element counts, flops, memory accesses, and the memory wait
+        // breakdown (bank busy / refresh / contention).
+        assert_eq!(
+            fast,
+            exact,
+            "LFK{} [{label}]: fast-forwarded stats diverge from exact run",
+            kernel.id()
+        );
+        // Whole-probe equality: per-lane busy/idle and every stall
+        // cause, both machine-wide and per-pc.
+        assert_eq!(
+            fast_probe,
+            exact_probe,
+            "LFK{} [{label}]: fast-forwarded telemetry diverges from exact run",
+            kernel.id()
+        );
+        total_skipped += skipped;
+    }
+    total_skipped
+}
+
+fn with_contention(config: SimConfig, contention: ContentionConfig) -> SimConfig {
+    let mut config = config;
+    config.mem = config.mem.with_contention(contention);
+    config
+}
+
+// ---- the full machine, three contention settings -------------------------
+
+#[test]
+fn suite_exact_under_full_machine_idle() {
+    assert_suite_equivalent(SimConfig::c240(), "c240/idle");
+}
+
+/// Fast-forward must actually engage somewhere, or the equivalence
+/// matrix above is vacuous. Without refresh a strip loop's timing state
+/// repeats after one iteration, so the suite warps most of its work;
+/// with refresh, phase realignment (`clock mod 400`) takes ~32+
+/// iterations, so engagement needs loops longer than the default
+/// kernels' — asserted on a paper-scale loop below.
+#[test]
+fn fast_forward_engages_on_the_suite_without_refresh() {
+    let skipped = assert_suite_equivalent(SimConfig::c240().without_refresh(), "no-refresh/idle");
+    assert!(
+        skipped > 10_000,
+        "fast-forward barely engaged without refresh ({skipped} instructions)"
+    );
+}
+
+/// On a long loop the warp engages even with refresh on (the detector
+/// waits out the 400-cycle phase lcm), and the run stays bit-exact.
+#[test]
+fn fast_forward_engages_under_refresh_on_long_loops() {
+    use c240_isa::ProgramBuilder;
+    let mut b = ProgramBuilder::new();
+    b.set_vl_imm(128);
+    // Long enough that the detector's warm-up (three observations of the
+    // ~400-iteration refresh-phase period) is a small fraction of the run.
+    b.mov_int(20_000, "s0");
+    b.label("L");
+    b.vload("a1", 0, "v0");
+    b.vmul("v0", "s1", "v1");
+    b.vstore("v1", "a2", 0);
+    b.int_op_imm("sub", 1, "s0");
+    b.cmp_imm("lt", 0, "s0");
+    b.branch_true("L");
+    b.halt();
+    let program = b.build().expect("long loop assembles");
+
+    let run = |config: SimConfig| {
+        let mut cpu = Cpu::new(config);
+        cpu.set_areg(1, 0);
+        cpu.set_areg(2, 80_000);
+        cpu.set_sreg_fp(1, 2.0);
+        let stats = cpu.run(&program).expect("long loop runs");
+        let out = cpu.mem().peek(80_000);
+        (stats, out, cpu.fast_forwarded_instructions())
+    };
+    let (fast, fast_out, skipped) = run(SimConfig::c240());
+    let (exact, exact_out, _) = run(SimConfig::c240().without_fast_forward());
+    assert_eq!(fast, exact);
+    assert_eq!(fast_out.to_bits(), exact_out.to_bits());
+    assert!(
+        skipped > 10_000,
+        "refresh-phase periods were not detected ({skipped} instructions warped)"
+    );
+}
+
+#[test]
+fn suite_exact_under_full_machine_lockstep_contention() {
+    assert_suite_equivalent(
+        with_contention(SimConfig::c240(), ContentionConfig::lockstep(3)),
+        "c240/lockstep(3)",
+    );
+}
+
+#[test]
+fn suite_exact_under_full_machine_mixed_contention() {
+    assert_suite_equivalent(
+        with_contention(SimConfig::c240(), ContentionConfig::mixed(3)),
+        "c240/mixed(3)",
+    );
+}
+
+// ---- ablated machines × three contention settings ------------------------
+
+#[test]
+fn suite_exact_without_chaining() {
+    let base = SimConfig::c240().without_chaining();
+    assert_suite_equivalent(base.clone(), "no-chaining/idle");
+    assert_suite_equivalent(
+        with_contention(base.clone(), ContentionConfig::lockstep(3)),
+        "no-chaining/lockstep(3)",
+    );
+    assert_suite_equivalent(
+        with_contention(base, ContentionConfig::mixed(3)),
+        "no-chaining/mixed(3)",
+    );
+}
+
+#[test]
+fn suite_exact_without_bubbles() {
+    let base = SimConfig::c240().without_bubbles();
+    assert_suite_equivalent(base.clone(), "no-bubbles/idle");
+    assert_suite_equivalent(
+        with_contention(base.clone(), ContentionConfig::lockstep(3)),
+        "no-bubbles/lockstep(3)",
+    );
+    assert_suite_equivalent(
+        with_contention(base, ContentionConfig::mixed(3)),
+        "no-bubbles/mixed(3)",
+    );
+}
+
+#[test]
+fn suite_exact_without_refresh() {
+    let base = SimConfig::c240().without_refresh();
+    assert_suite_equivalent(base.clone(), "no-refresh/idle");
+    assert_suite_equivalent(
+        with_contention(base.clone(), ContentionConfig::lockstep(3)),
+        "no-refresh/lockstep(3)",
+    );
+    assert_suite_equivalent(
+        with_contention(base, ContentionConfig::mixed(3)),
+        "no-refresh/mixed(3)",
+    );
+}
+
+// ---- edge cases ----------------------------------------------------------
+
+/// Tracing disables fast-forward (the skipped iterations would be
+/// missing from the trace), and the run still matches the exact run.
+#[test]
+fn tracing_disables_fast_forward_but_stays_exact() {
+    let kernel = lfk_suite::by_id(1).expect("LFK1 exists");
+    let mut cpu = Cpu::new(SimConfig::c240().with_trace());
+    kernel.setup(&mut cpu);
+    let stats = cpu.run(&kernel.program()).expect("traced run");
+    assert_eq!(cpu.fast_forwarded_instructions(), 0);
+    assert!(!cpu.trace().events().is_empty() || cpu.trace().dropped() > 0);
+
+    let mut exact = Cpu::new(SimConfig::c240().without_fast_forward());
+    kernel.setup(&mut exact);
+    let exact_stats = exact.run(&kernel.program()).expect("exact run");
+    assert_eq!(stats, exact_stats);
+}
+
+/// A cpu can be reused across runs: fast-forward state resets with the
+/// timing state, and the second run still matches a fresh exact run.
+#[test]
+fn reset_timing_clears_fast_forward_state() {
+    let kernel = lfk_suite::by_id(7).expect("LFK7 exists");
+    let mut cpu = Cpu::new(SimConfig::c240());
+    kernel.setup(&mut cpu);
+    let first = cpu.run(&kernel.program()).expect("first run");
+    cpu.reset_timing();
+    kernel.setup(&mut cpu);
+    let second = cpu.run(&kernel.program()).expect("second run");
+    assert_eq!(first, second);
+}
