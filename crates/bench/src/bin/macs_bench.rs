@@ -10,9 +10,11 @@
 //! plumbing), measures the steady-state fast-forward against exact
 //! element stepping at paper-scale pass counts, and writes
 //! `OUT_DIR/BENCH_<date>.json`: per-kernel cycles/CPL/CPF plus wall
-//! time, the stall breakdown in CPL units, the probe overhead, and the
-//! fast-forward speedup. Committing one such file per working day gives
-//! a performance trajectory that is diffable across commits.
+//! time, the stall breakdown in CPL units, the probe overhead, the
+//! fast-forward speedup, and the multi-CPU co-simulation wall-clock at
+//! 1/2/4 CPUs (schema `c240-bench/v3`). Committing one such file per
+//! working day gives a performance trajectory that is diffable across
+//! commits.
 //!
 //! Environment:
 //!
@@ -33,7 +35,7 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use c240_obs::json::Json;
 use c240_obs::{CounterProbe, StallCause};
-use c240_sim::{Cpu, SimConfig};
+use c240_sim::{Cpu, Machine, SimConfig};
 use macs_bench::timing::Bench;
 
 /// Today's civil date (UTC) as `(year, month, day)`, computed from the
@@ -224,10 +226,57 @@ fn main() -> ExitCode {
         suite_ff_ns as f64 / 1e9,
     );
 
+    // Multi-CPU co-simulation wall-clock: lockstep LFK1 at 1/2/4 CPUs.
+    // More than one CPU forgoes fast-forward (the shared banks break
+    // periodicity), so this row tracks the real cost of the mode, not
+    // just N× the single-CPU time.
+    eprintln!("timing multi-CPU co-simulation (lockstep LFK1 at 1/2/4 CPUs)...");
+    let mut cosim_rows: Vec<Json> = Vec::new();
+    let mut cosim_solo_cycles = 0.0f64;
+    for cpus in [1u32, 2, 4] {
+        let mut machine = Machine::new(sim.clone().with_cpus(cpus));
+        let programs: Vec<_> = (0..cpus as usize)
+            .map(|i| {
+                k1.setup(machine.cpu_mut(i));
+                k1.program()
+            })
+            .collect();
+        let t0 = Instant::now();
+        let stats = match machine.run(&programs) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("co-sim at {cpus} CPUs failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let mean_cycles = stats.iter().map(|s| s.cycles).sum::<f64>() / f64::from(cpus);
+        if cpus == 1 {
+            cosim_solo_cycles = mean_cycles;
+        }
+        let slowdown = mean_cycles / cosim_solo_cycles;
+        eprintln!(
+            "  {cpus} CPUs: {:.2}ms wall, mean slowdown {slowdown:.3}x",
+            wall_ns as f64 / 1e6
+        );
+        cosim_rows.push(
+            Json::obj()
+                .field("cpus", cpus)
+                .field("mean_cycles", mean_cycles)
+                .field("mean_slowdown", slowdown)
+                .field(
+                    "contention_wait_cycles",
+                    machine.shared().wait_breakdown().contention,
+                )
+                .field("wall_ns", wall_ns)
+                .field("wall_ns_per_cpu", wall_ns / u64::from(cpus)),
+        );
+    }
+
     let (y, m, d) = civil_date_utc();
     let date = format!("{y:04}-{m:02}-{d:02}");
     let doc = Json::obj()
-        .field("schema", "c240-bench/v2")
+        .field("schema", "c240-bench/v3")
         .field("date", date.as_str())
         .field("threads", threads)
         .field("suite_wall_ns", suite_wall_ns)
@@ -248,7 +297,8 @@ fn main() -> ExitCode {
                 .field("suite_exact_ns", suite_exact_ns)
                 .field("suite_speedup", suite_speedup)
                 .field("kernels", Json::Arr(ff_kernels)),
-        );
+        )
+        .field("cosim", Json::Arr(cosim_rows));
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());

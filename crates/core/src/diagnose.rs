@@ -57,7 +57,9 @@ pub enum Finding {
         bank_busy_cpl: f64,
         /// The refresh share of `wait_cpl`.
         refresh_cpl: f64,
-        /// The contention share of `wait_cpl`.
+        /// The contention share of `wait_cpl`: waits behind banks
+        /// claimed by *other* traffic — co-simulated neighbor CPUs
+        /// (`c240_sim::Machine`) or synthetic background streams.
         contention_cpl: f64,
     },
     /// Vector reductions interact badly with memory accesses:
@@ -117,7 +119,7 @@ impl fmt::Display for Finding {
                 f,
                 "performance is bottlenecked in the access (memory) process \
                  (measured {wait_cpl:.2} CPL of memory wait: {bank_busy_cpl:.2} bank busy, \
-                 {refresh_cpl:.2} refresh, {contention_cpl:.2} contention)"
+                 {refresh_cpl:.2} refresh, {contention_cpl:.2} contention from other traffic)"
             ),
             Finding::ReductionBottleneck { drain_cpl } => write!(
                 f,

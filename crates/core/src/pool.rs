@@ -22,12 +22,28 @@ pub const THREADS_ENV: &str = "MACS_THREADS";
 
 /// Parses a `MACS_THREADS`-style value: a positive thread count, or
 /// `None` for anything absent or unusable (falls back to the default).
+///
+/// A value that is *set but unusable* — empty, zero, negative, garbage,
+/// or beyond `usize` — is rejected with a warning on stderr rather than
+/// silently: a user who typed `MACS_THREADS=0` expecting "serial" or
+/// "auto" should learn their run is not configured the way they think.
 fn parse_threads(value: Option<&str>) -> Option<usize> {
-    value?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+    let raw = value?;
+    let parsed = raw.trim().parse::<usize>().ok().filter(|&n| n > 0);
+    if parsed.is_none() {
+        eprintln!(
+            "warning: ignoring {THREADS_ENV}={raw:?}: expected a positive \
+             integer thread count (e.g. {THREADS_ENV}=1 for serial); \
+             falling back to available parallelism"
+        );
+    }
+    parsed
 }
 
 /// The worker count: `MACS_THREADS` if set to a positive integer,
 /// otherwise the machine's available parallelism (1 if unknown).
+/// Unusable `MACS_THREADS` values warn on stderr (see `parse_threads`)
+/// before falling back.
 pub fn threads() -> usize {
     parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
         std::thread::available_parallelism()
@@ -102,6 +118,23 @@ mod tests {
         assert_eq!(parse_threads(Some("-3")), None);
         assert_eq!(parse_threads(Some("lots")), None);
         assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn unusable_values_reject_rather_than_misconfigure() {
+        // Empty / whitespace-only: set but meaningless.
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("   ")), None);
+        // Garbage and mixed garbage.
+        assert_eq!(parse_threads(Some("4x")), None);
+        assert_eq!(parse_threads(Some("1.5")), None);
+        assert_eq!(parse_threads(Some("0x10")), None);
+        // Beyond usize::MAX overflows the parse and is rejected, not
+        // clamped to some surprising value.
+        assert_eq!(parse_threads(Some("99999999999999999999999999")), None);
+        // A huge-but-representable count is accepted verbatim; the pool
+        // clamps to the item count so it is harmless.
+        assert_eq!(parse_threads(Some("1000000")), Some(1_000_000));
     }
 
     #[test]

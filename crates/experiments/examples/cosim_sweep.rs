@@ -1,0 +1,61 @@
+//! Scratch calibration probe (not part of the library surface): sweeps
+//! candidate mixed-kernel pools and prints the 4-CPU mean slowdown.
+
+use c240_sim::{Machine, SimConfig};
+
+fn solo(id: u32) -> f64 {
+    let k = lfk_suite::by_id(id).expect("id");
+    let mut m = Machine::new(SimConfig::c240().with_cpus(1));
+    k.setup(m.cpu_mut(0));
+    let p = k.program();
+    m.run(std::slice::from_ref(&p)).expect("run")[0].cycles
+}
+
+fn main() {
+    let pools: &[[u32; 4]] = &[
+        [1, 7, 12, 2],
+        [1, 4, 12, 2],
+        [2, 4, 12, 1],
+        [2, 3, 12, 1],
+        [2, 4, 3, 12],
+        [2, 4, 7, 12],
+        [2, 4, 9, 12],
+        [2, 4, 3, 9],
+        [2, 3, 9, 12],
+        [1, 2, 3, 4],
+        [2, 9, 10, 12],
+        [2, 4, 10, 12],
+    ];
+    let mut solos = std::collections::HashMap::new();
+    for pool in pools {
+        for &id in pool {
+            solos.entry(id).or_insert_with(|| solo(id));
+        }
+    }
+    for pool in pools {
+        let mut m = Machine::new(SimConfig::c240().with_cpus(4));
+        let programs: Vec<_> = pool
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let k = lfk_suite::by_id(id).expect("id");
+                k.setup(m.cpu_mut(i));
+                k.program()
+            })
+            .collect();
+        let stats = m.run(&programs).expect("run");
+        let slows: Vec<f64> = stats
+            .iter()
+            .zip(pool)
+            .map(|(s, &id)| s.cycles / solos[&id])
+            .collect();
+        let mean = slows.iter().sum::<f64>() / 4.0;
+        println!(
+            "{pool:?}: mean {mean:.3}  per-cpu {:?}",
+            slows
+                .iter()
+                .map(|s| (s * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,10 +1,15 @@
 //! `macs-report` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! macs-report [ARTIFACT...] [--csv DIR] [--json PATH] [--trace-out DIR]
+//! macs-report [ARTIFACT...] [--cpus N] [--mix lockstep|mixed]
+//!             [--csv DIR] [--json PATH] [--trace-out DIR]
 //!
-//! ARTIFACT: table1 table2 table3 table4 table5 fig1 fig2 fig3 lfk1 all
-//!           (default: all)
+//! ARTIFACT: table1 table2 table3 table4 table5 fig1 fig2 fig3 lfk1
+//!           cosim all   (default: all)
+//! --cpus N:        co-simulated CPUs for the `cosim` artifact
+//!                  (default 4, the machine the paper's bands describe)
+//! --mix MIX:       restrict `cosim` to one workload mix
+//!                  (default: both lockstep and mixed)
 //! --csv DIR:       additionally write each table as CSV into DIR
 //! --json PATH:     write the full suite as structured run reports
 //!                  (one RunReport per kernel, schema-stable JSON)
@@ -18,10 +23,13 @@ use std::process::ExitCode;
 use c240_obs::json::Json;
 use c240_sim::{Cpu, SimConfig};
 use macs_core::{ChimeConfig, RunReport, RUN_REPORT_SCHEMA};
+use macs_experiments::cosim::{cosim_csv, cosim_table, run_cosim, Mix};
 use macs_experiments::{figures, tables, worked_example, Suite};
 
 struct Args {
     artifacts: Vec<String>,
+    cpus: u32,
+    mix: Option<Mix>,
     csv_dir: Option<PathBuf>,
     json_path: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
@@ -29,12 +37,29 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut artifacts = Vec::new();
+    let mut cpus = 4u32;
+    let mut mix = None;
     let mut csv_dir = None;
     let mut json_path = None;
     let mut trace_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--cpus" => {
+                let n = it.next().ok_or("--cpus requires a count")?;
+                cpus = n
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--cpus {n}: expected a positive integer"))?;
+            }
+            "--mix" => {
+                let m = it.next().ok_or("--mix requires lockstep|mixed")?;
+                mix = Some(
+                    Mix::parse(&m)
+                        .ok_or_else(|| format!("--mix {m}: expected `lockstep` or `mixed`"))?,
+                );
+            }
             "--csv" => {
                 let dir = it.next().ok_or("--csv requires a directory")?;
                 csv_dir = Some(PathBuf::from(dir));
@@ -49,13 +74,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|all]... \
-                     [--csv DIR] [--json PATH] [--trace-out DIR]"
+                    "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|cosim|all]... \
+                     [--cpus N] [--mix lockstep|mixed] [--csv DIR] [--json PATH] \
+                     [--trace-out DIR]"
                         .to_string(),
                 )
             }
             known @ ("table1" | "table2" | "table3" | "table4" | "table5" | "fig1" | "fig2"
-            | "fig3" | "lfk1" | "asm" | "all") => artifacts.push(known.to_string()),
+            | "fig3" | "lfk1" | "asm" | "cosim" | "all") => artifacts.push(known.to_string()),
             other => return Err(format!("unknown artifact `{other}` (try --help)")),
         }
     }
@@ -64,6 +90,8 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         artifacts,
+        cpus,
+        mix,
         csv_dir,
         json_path,
         trace_dir,
@@ -183,6 +211,18 @@ fn main() -> ExitCode {
     }
     if want("fig2") {
         println!("{}", figures::fig2(&sim));
+    }
+    if want("cosim") {
+        let mixes = match args.mix {
+            Some(m) => vec![m],
+            None => vec![Mix::Lockstep, Mix::Mixed],
+        };
+        for mix in mixes {
+            eprintln!("co-simulating {} CPUs ({mix} mix)...", args.cpus);
+            let report = run_cosim(&sim.clone().with_cpus(args.cpus), mix);
+            println!("{}", cosim_table(&report));
+            csv_outputs.push((format!("cosim_{mix}.csv"), cosim_csv(&report)));
+        }
     }
     if want("lfk1") {
         println!("{}", worked_example(&sim, &chime));

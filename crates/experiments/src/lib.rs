@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cosim;
 pub mod figures;
 pub mod paper;
 pub mod tables;

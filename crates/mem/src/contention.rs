@@ -56,8 +56,15 @@ impl ContentionStream {
     ///
     /// Claims occur at cycles `c` with `(phase + c·stride) ≡ bank (mod
     /// banks)`, each lasting `claim_len` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is even — an even stride misses half the banks
+    /// and breaks the closed-form claim solver, so it is rejected in
+    /// release builds too (not just `debug_assert`), matching the check
+    /// in [`ContentionConfig::with_stream`].
     pub fn blocking_claim_end(&self, bank: u32, banks: u32, t: f64, claim_len: f64) -> Option<f64> {
-        debug_assert!(self.stride % 2 == 1, "contention stride must be odd");
+        assert!(self.stride % 2 == 1, "contention stride must be odd");
         let m = u64::from(banks);
         // Solve phase + c*stride ≡ bank (mod m) for c.
         let inv = mod_inverse(self.stride % m, m)?;
@@ -246,6 +253,32 @@ mod tests {
     #[should_panic(expected = "duty")]
     fn bad_duty_rejected() {
         let _ = ContentionStream::unit(0).with_duty(5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be odd")]
+    fn even_stride_rejected_by_config() {
+        let _ = ContentionConfig::idle().with_stream(ContentionStream {
+            stride: 2,
+            phase: 0,
+            duty_num: 1,
+            duty_den: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be odd")]
+    fn even_stride_rejected_at_claim_time_in_release_too() {
+        // A hand-built (not `with_stream`-validated) stream must still be
+        // rejected by the claim solver itself — as a hard assert, so
+        // release builds cannot silently compute wrong claim windows.
+        let s = ContentionStream {
+            stride: 4,
+            phase: 0,
+            duty_num: 1,
+            duty_den: 1,
+        };
+        let _ = s.blocking_claim_end(0, 32, 0.0, 8.0);
     }
 
     #[test]

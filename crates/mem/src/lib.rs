@@ -38,7 +38,7 @@ mod system;
 
 pub use cache::{CacheConfig, ScalarCache};
 pub use contention::{ContentionConfig, ContentionStream};
-pub use system::{MemConfig, MemorySystem, WaitBreakdown};
+pub use system::{BankState, MemConfig, MemorySystem, WaitBreakdown};
 
 /// Word-granular bank index for an address under a given interleave.
 ///

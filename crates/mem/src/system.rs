@@ -1,4 +1,17 @@
 //! The banked memory system: data storage plus access timing.
+//!
+//! Since the multi-CPU co-simulation refactor the system is split in
+//! two: [`BankState`] holds the *shared* arbitration state (per-bank
+//! earliest-free cycles, which CPU last claimed each bank, and
+//! machine-wide counters), while [`MemorySystem`] is a per-CPU *view*
+//! over it — private data space and private accounting on top of the
+//! shared banks. A single-CPU simulation owns both halves and behaves
+//! exactly as before; a co-simulation driver (`c240_sim::Machine`)
+//! keeps one `BankState` and swaps it into whichever CPU's view is
+//! stepping, so contention between CPUs *emerges* from real interleaved
+//! traffic instead of the synthetic [`ContentionStream`]s.
+//!
+//! [`ContentionStream`]: crate::ContentionStream
 
 use crate::contention::ContentionConfig;
 use crate::{bank_of, gcd};
@@ -85,17 +98,133 @@ impl Default for MemConfig {
     }
 }
 
-/// The memory system: word-addressed data plus per-bank availability.
+/// The shared half of the memory system: per-bank arbitration state plus
+/// machine-wide accounting, common to every CPU port.
+///
+/// A single-CPU [`MemorySystem`] owns its own `BankState`; a co-sim
+/// driver owns one and swaps it between the CPUs' views with
+/// [`MemorySystem::swap_bank_state`] (an O(1) pointer swap) so every
+/// grant search sees every other CPU's outstanding claims.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankState {
+    /// Earliest cycle each bank is free of *all* claims so far (the end
+    /// of its latest claim).
+    free: Vec<f64>,
+    /// The view (CPU port) that last claimed each bank — waits behind a
+    /// foreign claim are charged to contention, not bank-busy.
+    owner: Vec<u32>,
+    /// Multiport mode only: each bank's outstanding claim windows as
+    /// `(start, owner)` pairs sorted by start (every claim lasts the
+    /// configured bank-busy time). Empty in single-port mode.
+    claims: Vec<Vec<(f64, u32)>>,
+    /// Whether grant searches fit into idle windows *between* claims
+    /// (multiport co-sim) or only after the latest claim (single-port).
+    multiport: bool,
+    /// Claims ending at or before this cycle can no longer affect any
+    /// future request and are pruned.
+    horizon: f64,
+    /// Machine-wide accesses across all views.
+    accesses: u64,
+    /// Machine-wide wait cycles across all views.
+    waited: f64,
+    /// Machine-wide wait breakdown across all views.
+    breakdown: WaitBreakdown,
+}
+
+impl BankState {
+    /// Fresh (all banks free at cycle 0) single-port state for `banks`
+    /// banks: a request waits until the bank's latest claim ends. Exact
+    /// for one CPU, whose port serializes requests in non-decreasing
+    /// earliest-start order, so an idle window behind the cursor can
+    /// never be used anyway.
+    pub fn new(banks: u32) -> Self {
+        BankState {
+            free: vec![0.0; banks as usize],
+            owner: vec![0; banks as usize],
+            claims: Vec::new(),
+            multiport: false,
+            horizon: 0.0,
+            accesses: 0,
+            waited: 0.0,
+            breakdown: WaitBreakdown::default(),
+        }
+    }
+
+    /// Fresh *multiport* state: claims are tracked individually and a
+    /// grant search may fit into an idle window between two existing
+    /// claims. Co-simulated CPUs interleave out of timestamp order (CPU
+    /// A steps a whole vector instruction — claiming several rotations
+    /// of each bank — before CPU B's earlier-cycle request arrives), so
+    /// the single `free` cursor would force B behind A's *last*
+    /// rotation; window-fitting restores the interleaved packing the
+    /// real banks provide. For requests arriving in non-decreasing
+    /// earliest order (any single port) the two modes grant identically.
+    pub fn multiport(banks: u32) -> Self {
+        BankState {
+            claims: vec![Vec::new(); banks as usize],
+            multiport: true,
+            ..BankState::new(banks)
+        }
+    }
+
+    /// Whether this state window-fits (see [`BankState::multiport`]).
+    pub fn is_multiport(&self) -> bool {
+        self.multiport
+    }
+
+    /// Declares that every future request starts at or after `cycle`
+    /// (the co-sim driver's minimum issue clock, minus margin): claims
+    /// ending at or before it are dead and get pruned. Monotonic —
+    /// lower values than a previous horizon are ignored.
+    pub fn set_horizon(&mut self, cycle: f64) {
+        self.horizon = self.horizon.max(cycle);
+    }
+
+    /// Clears all arbitration state and counters.
+    pub fn reset(&mut self) {
+        self.free.fill(0.0);
+        self.owner.fill(0);
+        for c in &mut self.claims {
+            c.clear();
+        }
+        self.horizon = 0.0;
+        self.accesses = 0;
+        self.waited = 0.0;
+        self.breakdown = WaitBreakdown::default();
+    }
+
+    /// Total accesses served across every view sharing this state.
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total wait cycles across every view sharing this state.
+    pub fn wait_cycles(&self) -> f64 {
+        self.waited
+    }
+
+    /// The machine-wide wait breakdown across every view sharing this
+    /// state. Per-view breakdowns sum to this exactly.
+    pub fn wait_breakdown(&self) -> WaitBreakdown {
+        self.breakdown
+    }
+}
+
+/// The memory system as seen from one CPU port: word-addressed data plus
+/// the (possibly shared) per-bank availability.
 ///
 /// Timing methods take the earliest cycle an access may start and return
 /// the cycle at which the bank granted it. Between request and grant the
-/// access may wait for: the bank's recovery from a previous access, a
-/// refresh window, or a background contention claim.
+/// access may wait for: the bank's recovery from one of this CPU's own
+/// earlier accesses (bank busy), another CPU's claim on the bank
+/// (contention — only in co-simulation), a refresh window, or a
+/// synthetic background contention claim.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     config: MemConfig,
     data: Vec<f64>,
-    bank_free: Vec<f64>,
+    bank: BankState,
+    view: u32,
     accesses: u64,
     waited: f64,
     breakdown: WaitBreakdown,
@@ -108,12 +237,14 @@ pub struct MemorySystem {
 /// [`MemorySystem::wait_cycles`] identically — not approximately.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WaitBreakdown {
-    /// Waiting for a bank still cycling from an earlier access.
+    /// Waiting for a bank still cycling from an earlier access by the
+    /// same CPU.
     pub bank_busy: f64,
     /// Waiting out refresh windows (each blocked access pays the full
     /// window, per §3.2 of the paper).
     pub refresh: f64,
-    /// Waiting behind background CPUs' bank claims.
+    /// Waiting behind other CPUs' bank claims — co-simulated neighbor
+    /// CPUs or synthetic background streams.
     pub contention: f64,
 }
 
@@ -127,12 +258,13 @@ impl WaitBreakdown {
 impl MemorySystem {
     /// Creates a zero-filled memory with the given configuration.
     pub fn new(config: MemConfig) -> Self {
-        let banks = config.banks as usize;
+        let banks = config.banks;
         let words = config.words;
         MemorySystem {
             config,
             data: vec![0.0; words],
-            bank_free: vec![0.0; banks],
+            bank: BankState::new(banks),
+            view: 0,
             accesses: 0,
             waited: 0.0,
             breakdown: WaitBreakdown::default(),
@@ -149,19 +281,46 @@ impl MemorySystem {
         self.data.len()
     }
 
-    /// Total accesses served so far.
+    /// Accesses served through *this view* (this CPU's port).
     pub fn access_count(&self) -> u64 {
         self.accesses
     }
 
-    /// Total cycles accesses spent waiting beyond their earliest start.
+    /// Cycles this view's accesses spent waiting beyond their earliest
+    /// start.
     pub fn wait_cycles(&self) -> f64 {
         self.waited
     }
 
-    /// The wait cycles split by cause (bank busy, refresh, contention).
+    /// This view's wait cycles split by cause (bank busy, refresh,
+    /// contention).
     pub fn wait_breakdown(&self) -> WaitBreakdown {
         self.breakdown
+    }
+
+    /// The view id this port charges its bank claims to (0 outside
+    /// co-simulation).
+    pub fn view(&self) -> u32 {
+        self.view
+    }
+
+    /// Assigns the view id. A co-sim driver gives each CPU a distinct id
+    /// so waits behind another CPU's claim are attributed to contention.
+    pub fn set_view(&mut self, view: u32) {
+        self.view = view;
+    }
+
+    /// The shared arbitration state this view currently holds (bank
+    /// availability plus machine-wide counters).
+    pub fn shared(&self) -> &BankState {
+        &self.bank
+    }
+
+    /// Swaps this view's bank state with `other` — O(1). A co-sim driver
+    /// swaps its one shared [`BankState`] in before stepping a CPU and
+    /// back out afterwards, so all CPUs arbitrate against the same banks.
+    pub fn swap_bank_state(&mut self, other: &mut BankState) {
+        std::mem::swap(&mut self.bank, other);
     }
 
     /// Reads `addr` (word address) no earlier than cycle `earliest`;
@@ -227,7 +386,7 @@ impl MemorySystem {
     /// Clears all timing state (bank availability, statistics) while
     /// keeping data — used between measurement runs.
     pub fn reset_timing(&mut self) {
-        self.bank_free.fill(0.0);
+        self.bank.reset();
         self.accesses = 0;
         self.waited = 0.0;
         self.breakdown = WaitBreakdown::default();
@@ -243,10 +402,21 @@ impl MemorySystem {
 
     /// Finds and claims the earliest grant cycle for an access to `addr`
     /// starting no earlier than `earliest`.
+    ///
+    /// Waits behind a bank claimed by this view are charged to bank
+    /// busy; waits behind a bank last claimed by a *different* view
+    /// (another co-simulated CPU) are charged to contention — the same
+    /// category the synthetic background streams use, so the attribution
+    /// taxonomy is identical either way.
     fn grant(&mut self, addr: u64, earliest: f64) -> f64 {
         self.check(addr);
         let bank = bank_of(addr, self.config.banks) as usize;
         let earliest = q(earliest.max(0.0));
+        let busy = self.config.bank_busy as f64;
+        if self.bank.multiport {
+            let horizon = self.bank.horizon;
+            self.bank.claims[bank].retain(|&(s, _)| q(s + busy) > horizon);
+        }
         let mut t = earliest;
         let mut guard = 0u32;
         loop {
@@ -256,9 +426,38 @@ impl MemorySystem {
                 "memory grant search did not converge (bank {bank}, t={t}); \
                  contention configuration saturates the bank"
             );
-            if t < self.bank_free[bank] {
-                self.breakdown.bank_busy = q(self.breakdown.bank_busy + (self.bank_free[bank] - t));
-                t = self.bank_free[bank];
+            if self.bank.multiport {
+                // Window fit: slide past the first claim overlapping
+                // [t, t+busy), charging the displacement to its owner's
+                // category, and retry (idle windows between later claims
+                // remain usable).
+                let hit = self.bank.claims[bank]
+                    .iter()
+                    .find(|&&(s, _)| s < q(t + busy) && q(s + busy) > t)
+                    .copied();
+                if let Some((s, owner)) = hit {
+                    let end = q(s + busy);
+                    let wait = end - t;
+                    if owner == self.view {
+                        self.breakdown.bank_busy = q(self.breakdown.bank_busy + wait);
+                        self.bank.breakdown.bank_busy = q(self.bank.breakdown.bank_busy + wait);
+                    } else {
+                        self.breakdown.contention = q(self.breakdown.contention + wait);
+                        self.bank.breakdown.contention = q(self.bank.breakdown.contention + wait);
+                    }
+                    t = end;
+                    continue;
+                }
+            } else if t < self.bank.free[bank] {
+                let wait = self.bank.free[bank] - t;
+                if self.bank.owner[bank] == self.view {
+                    self.breakdown.bank_busy = q(self.breakdown.bank_busy + wait);
+                    self.bank.breakdown.bank_busy = q(self.bank.breakdown.bank_busy + wait);
+                } else {
+                    self.breakdown.contention = q(self.breakdown.contention + wait);
+                    self.bank.breakdown.contention = q(self.bank.breakdown.contention + wait);
+                }
+                t = self.bank.free[bank];
                 continue;
             }
             if self.config.refresh_enabled {
@@ -271,6 +470,7 @@ impl MemorySystem {
                     // the full window (re-arbitration included), not just
                     // the remainder of it.
                     self.breakdown.refresh = q(self.breakdown.refresh + len);
+                    self.bank.breakdown.refresh = q(self.bank.breakdown.refresh + len);
                     t = q(t + len);
                     continue;
                 }
@@ -282,14 +482,25 @@ impl MemorySystem {
                 self.config.bank_busy as f64,
             ) {
                 self.breakdown.contention = q(self.breakdown.contention + (end - t));
+                self.bank.breakdown.contention = q(self.bank.breakdown.contention + (end - t));
                 t = q(end);
                 continue;
             }
             break;
         }
-        self.bank_free[bank] = q(t + self.config.bank_busy as f64);
+        let end = q(t + busy);
+        if self.bank.multiport {
+            let pos = self.bank.claims[bank].partition_point(|&(s, _)| s <= t);
+            self.bank.claims[bank].insert(pos, (t, self.view));
+        }
+        if end >= self.bank.free[bank] {
+            self.bank.free[bank] = end;
+            self.bank.owner[bank] = self.view;
+        }
         self.accesses += 1;
+        self.bank.accesses += 1;
         self.waited = q(self.waited + (t - earliest));
+        self.bank.waited = q(self.bank.waited + (t - earliest));
         t
     }
 
@@ -297,13 +508,13 @@ impl MemorySystem {
     /// steady-state fast-forward can snapshot and translate the memory
     /// system's timing state along with its own.
     pub fn bank_state(&self) -> &[f64] {
-        &self.bank_free
+        &self.bank.free
     }
 
     /// Mutable view of the per-bank earliest-free cycles (fast-forward
     /// translation; see [`MemorySystem::bank_state`]).
     pub fn bank_state_mut(&mut self) -> &mut [f64] {
-        &mut self.bank_free
+        &mut self.bank.free
     }
 
     /// Adds `k` periods' worth of access counters in one step — the
@@ -321,6 +532,7 @@ impl MemorySystem {
         k: u64,
     ) {
         self.accesses += accesses * k;
+        self.bank.accesses += accesses * k;
         let kf = k as f64;
         let translate = |c: &mut f64, d: f64| {
             *c = ((*c * TICKS_PER_CYCLE).round() + kf * d) / TICKS_PER_CYCLE;
@@ -329,6 +541,16 @@ impl MemorySystem {
         translate(&mut self.breakdown.bank_busy, breakdown_ticks.bank_busy);
         translate(&mut self.breakdown.refresh, breakdown_ticks.refresh);
         translate(&mut self.breakdown.contention, breakdown_ticks.contention);
+        translate(&mut self.bank.waited, waited_ticks);
+        translate(
+            &mut self.bank.breakdown.bank_busy,
+            breakdown_ticks.bank_busy,
+        );
+        translate(&mut self.bank.breakdown.refresh, breakdown_ticks.refresh);
+        translate(
+            &mut self.bank.breakdown.contention,
+            breakdown_ticks.contention,
+        );
     }
 
     /// Whether a strided element stream of `n` accesses starting at word
@@ -337,7 +559,8 @@ impl MemorySystem {
     /// with zero wait. True only when contention is idle, the whole
     /// stream stays clear of refresh windows, same-bank revisits are
     /// spaced at least the bank recovery time apart, and every touched
-    /// bank has already recovered from earlier traffic.
+    /// bank has already recovered from earlier traffic (its own or, in
+    /// co-simulation, any other CPU's).
     pub fn stream_conflict_free(&self, base: i64, stride: i64, n: u32, start: f64, z: f64) -> bool {
         if n == 0 {
             return true;
@@ -365,7 +588,7 @@ impl MemorySystem {
         let mut bank = base.rem_euclid(banks);
         let step = stride.rem_euclid(banks);
         for _ in 0..r.min(n) {
-            if self.bank_free[bank as usize] > start {
+            if self.bank.free[bank as usize] > start {
                 return false;
             }
             bank = (bank + step) % banks;
@@ -384,14 +607,28 @@ impl MemorySystem {
             return;
         }
         self.accesses += u64::from(n);
+        self.bank.accesses += u64::from(n);
         let banks = i64::from(self.config.banks);
         let r = self.banks_touched(stride);
+        let step = stride.rem_euclid(banks);
+        if self.bank.multiport {
+            // Window-fitting neighbors must see every element's claim,
+            // not just the last visit per bank. The conflict-free
+            // precondition guarantees all existing claims on touched
+            // banks end by `start`, so pushing in element order keeps
+            // each bank's claim list sorted.
+            let mut bank = base.rem_euclid(banks);
+            for e in 0..n {
+                self.bank.claims[bank as usize].push((q(start + z * e as f64), self.view));
+                bank = (bank + step) % banks;
+            }
+        }
         // Only the last visit to each bank determines its recovery time.
         let first = n.saturating_sub(r);
         let mut bank = (base + stride * i64::from(first)).rem_euclid(banks);
-        let step = stride.rem_euclid(banks);
         for e in first..n {
-            self.bank_free[bank as usize] = q(start + z * e as f64 + self.config.bank_busy as f64);
+            self.bank.free[bank as usize] = q(start + z * e as f64 + self.config.bank_busy as f64);
+            self.bank.owner[bank as usize] = self.view;
             bank = (bank + step) % banks;
         }
     }
@@ -618,5 +855,46 @@ mod tests {
         assert_eq!(qb.refresh, 0.0);
         assert_eq!(qb.contention, 0.0);
         assert_eq!(qb.total(), quiet_mem.wait_cycles());
+    }
+
+    #[test]
+    fn shared_bank_state_charges_foreign_claims_to_contention() {
+        // Two views arbitrate over one BankState: B's wait behind A's
+        // claim is contention; A's wait behind its own claim stays
+        // bank-busy. The shared totals see both.
+        let mut a = quiet();
+        let mut b = quiet();
+        b.set_view(1);
+        let mut shared = BankState::new(32);
+
+        a.swap_bank_state(&mut shared);
+        let (g, _) = a.read(0, 0.0); // A claims bank 0 for [0, 8)
+        assert_eq!(g, 0.0);
+        a.swap_bank_state(&mut shared);
+
+        b.swap_bank_state(&mut shared);
+        let (g, _) = b.read(32, 1.0); // same bank, different view
+        assert_eq!(g, 8.0);
+        b.swap_bank_state(&mut shared);
+
+        assert_eq!(b.wait_breakdown().contention, 7.0);
+        assert_eq!(b.wait_breakdown().bank_busy, 0.0);
+        assert_eq!(a.wait_breakdown().total(), 0.0);
+
+        // A re-reading its own bank still charges bank busy.
+        a.swap_bank_state(&mut shared);
+        let (g, _) = a.read(64, 9.0); // bank 0, now owned by B until 16
+        assert_eq!(g, 16.0);
+        a.swap_bank_state(&mut shared);
+        assert_eq!(a.wait_breakdown().contention, 7.0);
+
+        // Per-view breakdowns sum to the shared machine-wide totals.
+        let total = shared.wait_breakdown();
+        let sum_bank = a.wait_breakdown().bank_busy + b.wait_breakdown().bank_busy;
+        let sum_cont = a.wait_breakdown().contention + b.wait_breakdown().contention;
+        assert_eq!(total.bank_busy, sum_bank);
+        assert_eq!(total.contention, sum_cont);
+        assert_eq!(shared.access_count(), a.access_count() + b.access_count());
+        assert_eq!(shared.wait_cycles(), a.wait_cycles() + b.wait_cycles());
     }
 }

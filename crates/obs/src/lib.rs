@@ -265,6 +265,14 @@ impl LaneAccount {
         self.busy + self.stalls.total() + self.idle
     }
 
+    /// Accumulates `other` into `self` (machine-level roll-up across
+    /// co-simulated CPUs).
+    pub fn merge(&mut self, other: &LaneAccount) {
+        self.busy += other.busy;
+        self.idle += other.idle;
+        self.stalls.merge(&other.stalls);
+    }
+
     /// Busy fraction of the accounted time (0 when nothing accounted).
     pub fn utilization(&self) -> f64 {
         let t = self.accounted();
@@ -383,6 +391,77 @@ impl CounterProbe {
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v
+    }
+
+    /// Accumulates `other` into `self`: lane accounts add, per-pc stall
+    /// maps union-and-add. Used to roll a co-simulated machine's per-CPU
+    /// probes up into machine totals.
+    pub fn merge(&mut self, other: &CounterProbe) {
+        for (mine, theirs) in self.lanes.iter_mut().zip(other.lanes.iter()) {
+            mine.merge(theirs);
+        }
+        for (&pc, counters) in &other.by_pc {
+            self.by_pc.entry(pc).or_default().merge(counters);
+        }
+    }
+}
+
+/// One [`CounterProbe`] per co-simulated CPU, plus a machine roll-up.
+///
+/// The per-CPU probes keep the exact `busy + stalls + idle == cycles`
+/// partition *per CPU* (each CPU has its own wall clock); the
+/// [`CoSimProbes::combined`] roll-up sums them for machine-level views,
+/// where the partition holds against the sum of the CPUs' cycle counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoSimProbes {
+    probes: Vec<CounterProbe>,
+}
+
+impl CoSimProbes {
+    /// `n` fresh probes (one per CPU).
+    pub fn new(n: usize) -> Self {
+        CoSimProbes {
+            probes: vec![CounterProbe::new(); n],
+        }
+    }
+
+    /// Number of per-CPU probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether there are no probes.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// CPU `i`'s probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn cpu(&self, i: usize) -> &CounterProbe {
+        &self.probes[i]
+    }
+
+    /// All per-CPU probes in CPU order.
+    pub fn all(&self) -> &[CounterProbe] {
+        &self.probes
+    }
+
+    /// Mutable slice to hand to a co-sim driver (one probe per CPU, in
+    /// CPU order).
+    pub fn as_mut_slice(&mut self) -> &mut [CounterProbe] {
+        &mut self.probes
+    }
+
+    /// Machine-level roll-up: every CPU's accounts summed.
+    pub fn combined(&self) -> CounterProbe {
+        let mut total = CounterProbe::new();
+        for p in &self.probes {
+            total.merge(p);
+        }
+        total
     }
 }
 
@@ -514,6 +593,36 @@ mod tests {
         p.stall(Lane::Mul, StallCause::TailgateBubble, 3.0, 30);
         let hot = p.hottest_pcs(2);
         assert_eq!(hot, vec![(20, 5.0), (30, 3.0)]);
+    }
+
+    #[test]
+    fn cosim_probes_roll_up() {
+        let mut probes = CoSimProbes::new(2);
+        {
+            let s = probes.as_mut_slice();
+            s[0].busy(Lane::Ld, 4.0, 1);
+            s[0].stall(Lane::Ld, StallCause::Contention, 2.0, 1);
+            s[0].idle(Lane::Ld, 1.0);
+            s[1].busy(Lane::Ld, 3.0, 1);
+            s[1].stall(Lane::Ld, StallCause::BankBusy, 5.0, 2);
+        }
+        assert_eq!(probes.len(), 2);
+        let total = probes.combined();
+        let lane = total.lane(Lane::Ld);
+        assert_eq!(lane.busy, 7.0);
+        assert_eq!(lane.idle, 1.0);
+        assert_eq!(lane.stalls.get(StallCause::Contention), 2.0);
+        assert_eq!(lane.stalls.get(StallCause::BankBusy), 5.0);
+        // Per-pc union: pc 1 from CPU 0, pc 2 from CPU 1.
+        assert_eq!(total.by_pc()[&1].get(StallCause::Contention), 2.0);
+        assert_eq!(total.by_pc()[&2].get(StallCause::BankBusy), 5.0);
+        // Roll-up accounted == sum of per-CPU accounted.
+        let per_cpu: f64 = probes
+            .all()
+            .iter()
+            .map(|p| p.lane(Lane::Ld).accounted())
+            .sum();
+        assert_eq!(lane.accounted(), per_cpu);
     }
 
     #[test]

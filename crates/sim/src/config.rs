@@ -75,8 +75,21 @@ pub struct SimConfig {
     /// to be exactly periodic, skip ahead by whole periods instead of
     /// stepping every element (bit-exact; see DESIGN.md). Disabled
     /// automatically while tracing, since a fast-forwarded run does not
-    /// emit the skipped iterations' trace events.
+    /// emit the skipped iterations' trace events. Also disabled by the
+    /// co-sim [`Machine`] when `cpus > 1`: one CPU's periodic state no
+    /// longer determines the shared memory's future.
+    ///
+    /// [`Machine`]: crate::Machine
     pub fast_forward: bool,
+    /// Number of CPUs a co-sim [`Machine`] builds from this
+    /// configuration, each a full [`Cpu`] with private data space,
+    /// sharing one set of memory banks (the C-240 has four). A plain
+    /// [`Cpu::new`] ignores this field — it always models one port.
+    ///
+    /// [`Machine`]: crate::Machine
+    /// [`Cpu`]: crate::Cpu
+    /// [`Cpu::new`]: crate::Cpu::new
+    pub cpus: u32,
 }
 
 impl SimConfig {
@@ -93,7 +106,20 @@ impl SimConfig {
             trace_cap: 65_536,
             max_instructions: 200_000_000,
             fast_forward: true,
+            cpus: 1,
         }
+    }
+
+    /// Same machine with `n` CPU ports sharing the memory banks (co-sim;
+    /// see [`SimConfig::cpus`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_cpus(mut self, n: u32) -> Self {
+        assert!(n > 0, "a machine needs at least one CPU");
+        self.cpus = n;
+        self
     }
 
     /// Same machine with steady-state fast-forward disabled (every

@@ -99,6 +99,24 @@ struct Schedule {
     last_result: f64,
 }
 
+/// Progress of an open run: where the next fetch happens and how many
+/// instructions have executed. Held by the driver (the single-CPU run
+/// loop, or the co-sim `Machine`) rather than the `Cpu` so several CPUs'
+/// runs can be interleaved.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RunCursor {
+    pc: usize,
+    executed: u64,
+    halted: bool,
+}
+
+impl RunCursor {
+    /// Whether the run has reached its `halt`.
+    pub(crate) fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
 /// One simulated C-240 CPU attached to a memory system.
 ///
 /// # Example
@@ -361,45 +379,84 @@ impl Cpu {
         program: &Program,
         probe: &mut P,
     ) -> Result<RunStats, SimError> {
+        let mut cursor = self.begin_run(probe, true);
+        while !cursor.halted {
+            self.step_one(program, probe, &mut cursor)?;
+        }
+        Ok(self.finish_run(probe))
+    }
+
+    /// Resets state and opens a run, returning the cursor an external
+    /// driver (or [`Cpu::run_probed`] itself) advances with
+    /// [`Cpu::step_one`]. `allow_ff` gates steady-state fast-forward on
+    /// top of the configuration: a co-sim driver passes `false` for
+    /// multi-CPU runs, where a single CPU's periodic state no longer
+    /// determines the shared memory's future.
+    pub(crate) fn begin_run<P: Probe>(&mut self, probe: &mut P, allow_ff: bool) -> RunCursor {
         self.reset_timing();
         // Fast-forward needs the probe's counters to be expressible as a
         // flat delta vector, and cannot run while tracing (the skipped
         // iterations' trace events would be missing).
-        self.ff.enabled =
-            self.config.fast_forward && !self.config.trace && probe.ff_counters().is_some();
-        let instrs = program.instructions();
-        let mut pc = 0usize;
-        let mut executed: u64 = 0;
-        loop {
-            let Some(ins) = instrs.get(pc) else {
-                return Err(SimError::FellOffEnd { pc });
-            };
-            executed += 1;
-            if executed > self.config.max_instructions {
-                return Err(SimError::InstructionLimit {
-                    limit: self.config.max_instructions,
-                });
-            }
-            self.stats.instructions.bump(ins.class());
-            if matches!(ins, Instruction::Halt) {
-                break;
-            }
-            let pre = if self.ff.is_recording() {
-                Some(self.ff_prestep(ins))
-            } else {
-                None
-            };
-            let next = self.step(probe, ins, pc, program)?;
-            if let Some(pre) = pre {
-                self.ff_poststep(pc, pre);
-            }
-            if next < pc && self.ff.active() && self.ff_loop_head(probe, next, executed) {
-                let skipped = self.ff_warp(probe, program, next, executed);
-                executed += skipped;
-                self.ff_skipped += skipped;
-            }
-            pc = next;
+        self.ff.enabled = allow_ff
+            && self.config.fast_forward
+            && !self.config.trace
+            && probe.ff_counters().is_some();
+        RunCursor {
+            pc: 0,
+            executed: 0,
+            halted: false,
         }
+    }
+
+    /// Executes the next instruction of an open run (one fetch, one
+    /// [`Cpu::step`], fast-forward bookkeeping) and advances `cursor`.
+    /// On `halt` the cursor is marked halted without executing further.
+    /// The body is the exact loop body of the single-CPU run path, so a
+    /// driver interleaving several CPUs' `step_one` calls produces, for
+    /// one CPU, the identical instruction-by-instruction sequence.
+    pub(crate) fn step_one<P: Probe>(
+        &mut self,
+        program: &Program,
+        probe: &mut P,
+        cursor: &mut RunCursor,
+    ) -> Result<(), SimError> {
+        let pc = cursor.pc;
+        let Some(ins) = program.instructions().get(pc) else {
+            return Err(SimError::FellOffEnd { pc });
+        };
+        cursor.executed += 1;
+        if cursor.executed > self.config.max_instructions {
+            return Err(SimError::InstructionLimit {
+                limit: self.config.max_instructions,
+            });
+        }
+        self.stats.instructions.bump(ins.class());
+        if matches!(ins, Instruction::Halt) {
+            cursor.halted = true;
+            return Ok(());
+        }
+        let pre = if self.ff.is_recording() {
+            Some(self.ff_prestep(ins))
+        } else {
+            None
+        };
+        let next = self.step(probe, ins, pc, program)?;
+        if let Some(pre) = pre {
+            self.ff_poststep(pc, pre);
+        }
+        if next < pc && self.ff.active() && self.ff_loop_head(probe, next, cursor.executed) {
+            let skipped = self.ff_warp(probe, program, next, cursor.executed);
+            cursor.executed += skipped;
+            self.ff_skipped += skipped;
+        }
+        cursor.pc = next;
+        Ok(())
+    }
+
+    /// Closes an open run: freezes cycle/memory/cache statistics, closes
+    /// every probe lane's account out to the end of the run, and returns
+    /// the statistics.
+    pub(crate) fn finish_run<P: Probe>(&mut self, probe: &mut P) -> RunStats {
         self.stats.cycles = self.end.max(self.clock);
         self.stats.memory_accesses = self.mem.access_count();
         self.stats.memory_wait_cycles = self.mem.wait_cycles();
@@ -418,7 +475,15 @@ impl Cpu {
                 (total - self.acct[Lane::ScalarMem as usize]).max(0.0),
             );
         }
-        Ok(std::mem::take(&mut self.stats))
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The scalar issue clock — the co-sim driver's arbitration key:
+    /// always stepping the CPU whose issue clock is lowest keeps the
+    /// interleaved grant streams as close to causal order as
+    /// per-instruction granularity allows.
+    pub(crate) fn issue_clock(&self) -> f64 {
+        self.clock
     }
 
     /// Executes one instruction; returns the next pc.

@@ -52,15 +52,19 @@ mod config;
 mod cpu;
 mod error;
 mod fastfwd;
+mod machine;
 mod stats;
 mod trace;
 
 pub use config::{ScalarTiming, SimConfig};
 pub use cpu::Cpu;
 pub use error::SimError;
+pub use machine::Machine;
 pub use stats::{ClassCounts, RunStats};
 pub use trace::{Trace, TraceEvent};
 
 // Telemetry: drive [`Cpu::run_probed`] with a probe to get a per-lane
 // cycle attribution (see the `c240-obs` crate for the taxonomy).
-pub use c240_obs::{CounterProbe, Lane, LaneAccount, NoProbe, Probe, StallCause, StallCounters};
+pub use c240_obs::{
+    CoSimProbes, CounterProbe, Lane, LaneAccount, NoProbe, Probe, StallCause, StallCounters,
+};

@@ -1,0 +1,312 @@
+//! Multi-CPU co-simulation: N CPUs, one shared set of memory banks.
+//!
+//! The C-240 is a four-CPU machine; the paper's §4.2 contention numbers
+//! (lockstep neighbors cost 5–10%, unrelated programs 40–60%) describe
+//! what one CPU loses when the other three compete for the same 32
+//! banks. A [`Machine`] reproduces this by *co-simulating* the CPUs: it
+//! owns the one shared [`BankState`] and steps the CPUs against it
+//! instruction by instruction, so every grant search on any port sees
+//! every other port's outstanding bank claims, and contention **emerges**
+//! from the interleaved traffic instead of being injected by synthetic
+//! [`ContentionStream`]s.
+//!
+//! # Arbitration and determinism
+//!
+//! CPUs are stepped one instruction at a time; before each step the
+//! shared bank state is swapped into the stepping CPU's memory view
+//! (O(1)) and swapped back out after. The driver always picks the
+//! non-halted CPU with the **lowest issue clock, ties broken by lowest
+//! CPU index** — a fixed, deterministic arbitration order that keeps the
+//! interleaved grant streams as close to causal order as
+//! per-instruction granularity allows. The whole co-simulation runs on
+//! the calling thread; results are bit-reproducible and independent of
+//! `MACS_THREADS` or any other environment.
+//!
+//! # Fast-forward
+//!
+//! Steady-state fast-forward keys on *one* CPU's periodic timing state;
+//! with neighbors banging the same banks that state no longer determines
+//! the future, so the [`Machine`] disables fast-forward whenever it
+//! drives more than one CPU. With exactly one CPU it leaves fast-forward
+//! to [`SimConfig::fast_forward`] and the whole path — begin, per
+//! instruction step, finish — is the identical code the plain
+//! [`Cpu::run_probed`] executes, so a 1-CPU machine is bit-identical to
+//! the legacy single-CPU simulator (asserted in `tests/cosim.rs`).
+//!
+//! [`ContentionStream`]: c240_mem::ContentionStream
+//!
+//! # Example
+//!
+//! ```
+//! use c240_isa::ProgramBuilder;
+//! use c240_sim::{Machine, SimConfig};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.set_vl_imm(128);
+//! b.vload("a1", 0, "v0");
+//! b.vstore("v0", "a2", 0);
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut machine = Machine::new(SimConfig::c240().with_cpus(4));
+//! for i in 0..machine.cpus() {
+//!     machine.cpu_mut(i).set_areg(1, 0);
+//!     machine.cpu_mut(i).set_areg(2, 4096 * 8);
+//! }
+//! let programs = vec![program; 4];
+//! let stats = machine.run(&programs)?;
+//! assert_eq!(stats.len(), 4);
+//! // All four ports' accesses hit the same banks.
+//! assert_eq!(machine.shared().access_count(),
+//!            stats.iter().map(|s| s.memory_accesses).sum::<u64>());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use c240_mem::BankState;
+use c240_obs::{NoProbe, Probe};
+
+use c240_isa::Program;
+
+use crate::config::SimConfig;
+use crate::cpu::Cpu;
+use crate::error::SimError;
+use crate::stats::RunStats;
+
+/// N co-simulated CPUs sharing one set of memory banks.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cpus: Vec<Cpu>,
+    shared: BankState,
+}
+
+impl Machine {
+    /// Builds a machine with [`SimConfig::cpus`] CPUs, each a full
+    /// [`Cpu`] with its own data space and scalar cache, port `i`
+    /// charging its bank claims to view id `i`.
+    pub fn new(config: SimConfig) -> Self {
+        let n = config.cpus.max(1);
+        let banks = config.mem.banks;
+        let cpus = (0..n)
+            .map(|i| {
+                let mut cpu = Cpu::new(config.clone());
+                cpu.mem_mut().set_view(i);
+                cpu
+            })
+            .collect();
+        // More than one port: track claims individually so a grant
+        // search can fit into the idle windows between another CPU's
+        // bank rotations; a single "earliest free" cursor would serialize
+        // whole vector instructions against each other. One port issues
+        // requests in non-decreasing time order, where the plain cursor
+        // grants identically and keeps fast-forward's state snapshot
+        // valid.
+        let shared = if n > 1 {
+            BankState::multiport(banks)
+        } else {
+            BankState::new(banks)
+        };
+        Machine { cpus, shared }
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// CPU `i` (workload setup: poke data, set registers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= cpus()`.
+    pub fn cpu(&self, i: usize) -> &Cpu {
+        &self.cpus[i]
+    }
+
+    /// Mutable CPU `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= cpus()`.
+    pub fn cpu_mut(&mut self, i: usize) -> &mut Cpu {
+        &mut self.cpus[i]
+    }
+
+    /// The shared bank state after a run: machine-wide access/wait
+    /// totals that the per-CPU [`RunStats`] sum to exactly.
+    pub fn shared(&self) -> &BankState {
+        &self.shared
+    }
+
+    /// Co-simulates one program per CPU to completion; returns each
+    /// CPU's statistics in CPU order.
+    ///
+    /// # Errors
+    ///
+    /// The first CPU error ([`SimError::InstructionLimit`],
+    /// [`SimError::FellOffEnd`]) aborts the whole co-simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != cpus()`.
+    pub fn run(&mut self, programs: &[Program]) -> Result<Vec<RunStats>, SimError> {
+        let mut probes: Vec<NoProbe> = self.cpus.iter().map(|_| NoProbe).collect();
+        self.run_probed(programs, &mut probes)
+    }
+
+    /// Like [`Machine::run`], reporting each CPU's cycle attribution to
+    /// the probe of the same index.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len()` or `probes.len()` differs from
+    /// `cpus()`.
+    pub fn run_probed<P: Probe>(
+        &mut self,
+        programs: &[Program],
+        probes: &mut [P],
+    ) -> Result<Vec<RunStats>, SimError> {
+        let n = self.cpus.len();
+        assert_eq!(programs.len(), n, "one program per CPU");
+        assert_eq!(probes.len(), n, "one probe per CPU");
+        let allow_ff = n == 1;
+        self.shared.reset();
+        let mut cursors = Vec::with_capacity(n);
+        for (cpu, probe) in self.cpus.iter_mut().zip(probes.iter_mut()) {
+            cursors.push(cpu.begin_run(probe, allow_ff));
+        }
+        loop {
+            // Fixed arbitration order: lowest issue clock, then lowest
+            // CPU index. Deterministic — no threads, no host state.
+            let mut pick = None;
+            for (i, cursor) in cursors.iter().enumerate() {
+                if cursor.halted() {
+                    continue;
+                }
+                let better = match pick {
+                    None => true,
+                    Some(j) => self.cpus[i].issue_clock() < self.cpus[j as usize].issue_clock(),
+                };
+                if better {
+                    pick = Some(i as u32);
+                }
+            }
+            let Some(i) = pick else {
+                break;
+            };
+            let i = i as usize;
+            // Every future request starts at or after the arbitration
+            // winner's issue clock (it holds the minimum); claims well
+            // behind it are dead weight. The margin generously covers
+            // any pipeline-internal earliest below the issue clock.
+            self.shared.set_horizon(self.cpus[i].issue_clock() - 512.0);
+            self.cpus[i].mem_mut().swap_bank_state(&mut self.shared);
+            let stepped = self.cpus[i].step_one(&programs[i], &mut probes[i], &mut cursors[i]);
+            // Swap the shared state back out before propagating an error
+            // so the machine stays consistent either way.
+            self.cpus[i].mem_mut().swap_bank_state(&mut self.shared);
+            stepped?;
+        }
+        Ok(self
+            .cpus
+            .iter_mut()
+            .zip(probes.iter_mut())
+            .map(|(cpu, probe)| cpu.finish_run(probe))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_isa::ProgramBuilder;
+
+    fn stream_program(iters: i64) -> Program {
+        // A strip-mined unit-stride copy loop: load 128, store 128,
+        // advance, decrement, branch back.
+        let mut b = ProgramBuilder::new();
+        b.mov_int(iters, "s0");
+        b.set_vl_imm(128);
+        b.label("L");
+        b.vload("a1", 0, "v0");
+        b.vstore("v0", "a2", 0);
+        b.int_op_imm("add", 128 * 8, "a1");
+        b.int_op_imm("add", 128 * 8, "a2");
+        b.int_op_imm("sub", 1, "s0");
+        b.cmp_imm("lt", 0, "s0");
+        b.branch_true("L");
+        b.halt();
+        b.build().expect("valid program")
+    }
+
+    fn setup(cpu: &mut Cpu) {
+        cpu.set_areg(1, 0);
+        cpu.set_areg(2, 64 * 1024 * 8);
+    }
+
+    #[test]
+    fn single_cpu_machine_matches_plain_cpu() {
+        let program = stream_program(8);
+        let mut plain = Cpu::new(SimConfig::c240());
+        setup(&mut plain);
+        let expect = plain.run(&program).expect("plain run");
+
+        let mut machine = Machine::new(SimConfig::c240().with_cpus(1));
+        setup(machine.cpu_mut(0));
+        let got = machine
+            .run(std::slice::from_ref(&program))
+            .expect("co-sim run");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], expect);
+    }
+
+    #[test]
+    fn four_cpus_slow_each_other_down() {
+        let program = stream_program(8);
+        let mut solo = Machine::new(SimConfig::c240().with_cpus(1));
+        setup(solo.cpu_mut(0));
+        let alone = solo.run(std::slice::from_ref(&program)).expect("solo")[0].cycles;
+
+        let mut machine = Machine::new(SimConfig::c240().with_cpus(4));
+        for i in 0..4 {
+            setup(machine.cpu_mut(i));
+        }
+        let programs = vec![program; 4];
+        let stats = machine.run(&programs).expect("co-sim");
+        for s in &stats {
+            assert!(s.cycles >= alone, "sharing banks cannot speed a CPU up");
+        }
+        // Contention must show up in the shared breakdown, and the
+        // per-CPU views must sum to it exactly.
+        let shared = machine.shared();
+        assert!(shared.wait_breakdown().contention > 0.0);
+        let view_sum: f64 = stats.iter().map(|s| s.memory_wait_cycles).sum();
+        assert_eq!(shared.wait_cycles(), view_sum);
+        let acc_sum: u64 = stats.iter().map(|s| s.memory_accesses).sum();
+        assert_eq!(shared.access_count(), acc_sum);
+    }
+
+    #[test]
+    fn co_simulation_is_deterministic() {
+        let program = stream_program(6);
+        let run = || {
+            let mut machine = Machine::new(SimConfig::c240().with_cpus(3));
+            for i in 0..3 {
+                setup(machine.cpu_mut(i));
+            }
+            let programs = vec![program.clone(); 3];
+            machine.run(&programs).expect("co-sim")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "one program per CPU")]
+    fn program_count_must_match() {
+        let mut machine = Machine::new(SimConfig::c240().with_cpus(2));
+        let _ = machine.run(&[]);
+    }
+}
