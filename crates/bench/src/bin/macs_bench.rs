@@ -1,8 +1,19 @@
-//! `macs-bench` — the perf-trajectory harness.
+//! `macs-bench` — the perf-trajectory harness and sweep server.
 //!
 //! ```text
 //! macs-bench [OUT_DIR]        (default: results)
+//! macs-bench --serve [--journal FILE] [--resume FILE] [--workers N]
+//!            [--deadline-ms N] [--max-attempts N] [--backoff-ms N]
+//!            [--backoff-cap-ms N] [--listen ADDR | --unix PATH]
 //! ```
+//!
+//! `--serve` turns the binary into the fault-tolerant sweep server
+//! (see [`macs_bench::serve`]): newline-delimited JSON sweep points in
+//! on stdin (or the given TCP/Unix socket), result rows out on stdout,
+//! one summary row at end of stream. `--journal` checkpoints every
+//! completed point; `--resume` re-emits already-computed rows verbatim
+//! and evaluates only the rest, so a killed sweep loses at most its
+//! in-flight points.
 //!
 //! Runs every LFK kernel once under the counting probe (in parallel on
 //! the [`macs_core::pool`]), times the LFK1 simulation with and without
@@ -31,12 +42,13 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use c240_obs::json::Json;
 use c240_obs::{CounterProbe, StallCause};
 use c240_sim::{Cpu, Machine, SimConfig};
 use macs_bench::timing::Bench;
+use macs_bench::{serve, ServeOptions};
 
 /// Today's civil date (UTC) as `(year, month, day)`, computed from the
 /// Unix time directly — the environment has no date/time crates.
@@ -144,8 +156,96 @@ fn ff_row(kernel: &dyn lfk_suite::LfkKernel, sim: &SimConfig, scale: i64) -> Res
         .field("speedup", exact_ns as f64 / ff_ns.max(1) as f64))
 }
 
+/// Parses the `--serve` flag set into [`ServeOptions`] plus the optional
+/// socket to listen on. Returns an error message on unknown or malformed
+/// flags — the server must not start half-configured.
+fn parse_serve_args(
+    args: &[String],
+) -> Result<(ServeOptions, Option<String>, Option<PathBuf>), String> {
+    let mut opts = ServeOptions::default();
+    let mut listen: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut it = args.iter();
+    fn value<'a>(
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn number<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("{flag} needs a non-negative integer, got {raw:?}"))
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--journal" => opts.journal = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--resume" => opts.resume = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--workers" => opts.workers = number(value(&mut it, flag)?, flag)?,
+            "--deadline-ms" => {
+                opts.deadline = Some(Duration::from_millis(number(value(&mut it, flag)?, flag)?))
+            }
+            "--max-attempts" => {
+                opts.retry.max_attempts = number::<u32>(value(&mut it, flag)?, flag)?.max(1)
+            }
+            "--backoff-ms" => {
+                opts.retry.backoff_base =
+                    Duration::from_millis(number(value(&mut it, flag)?, flag)?)
+            }
+            "--backoff-cap-ms" => {
+                opts.retry.backoff_cap = Duration::from_millis(number(value(&mut it, flag)?, flag)?)
+            }
+            "--listen" => listen = Some(value(&mut it, flag)?.clone()),
+            "--unix" => unix = Some(PathBuf::from(value(&mut it, flag)?)),
+            other => return Err(format!("unknown --serve flag {other:?}")),
+        }
+    }
+    if listen.is_some() && unix.is_some() {
+        return Err("--listen and --unix are mutually exclusive".into());
+    }
+    Ok((opts, listen, unix))
+}
+
+/// The `--serve` entry point: stdin/stdout by default, a socket with
+/// `--listen`/`--unix`.
+fn serve_main(args: &[String]) -> ExitCode {
+    let (mut opts, listen, unix) = match parse_serve_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("macs-bench --serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    opts.base = harness_config();
+    let served = if let Some(addr) = listen {
+        macs_bench::serve::serve_tcp(&addr, &opts).map(|()| None)
+    } else if let Some(path) = unix {
+        macs_bench::serve::serve_unix(&path, &opts).map(|()| None)
+    } else {
+        // StdinLock is not Send (the reader runs on its own thread), so
+        // buffer the Stdin handle directly.
+        let input = std::io::BufReader::new(std::io::stdin());
+        let stdout = std::io::stdout();
+        serve(input, stdout.lock(), &opts).map(Some)
+    };
+    match served {
+        Ok(Some(outcomes)) => {
+            eprintln!("macs-bench: {outcomes}");
+            ExitCode::SUCCESS
+        }
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("macs-bench --serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let out_dir = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| "results".into()));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--serve") {
+        return serve_main(&args[1..]);
+    }
+    let out_dir = PathBuf::from(args.first().cloned().unwrap_or_else(|| "results".into()));
     let sim = harness_config();
     let threads = macs_core::threads();
 

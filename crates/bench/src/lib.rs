@@ -20,20 +20,47 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve;
 pub mod timing;
 
 pub use macs_core::{parallel_map, pool::THREADS_ENV, threads};
+pub use serve::{eval_point, serve, Evaluated, PointClass, ServeOptions};
+
+use std::error::Error;
+use std::fmt;
 
 use c240_isa::{Program, ProgramBuilder};
 
-/// Builds a strip loop of `chimes` one-load chimes over `strips` strips
-/// at the given vector length — the standard ablation workload.
+/// A chime count outside the 1..=7 the ablation workload supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidChimes {
+    /// The offending count.
+    pub chimes: u32,
+}
+
+impl fmt::Display for InvalidChimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chime count {} outside the supported 1..=7", self.chimes)
+    }
+}
+
+impl Error for InvalidChimes {}
+
+/// Fallible form of [`memory_loop`] for chime counts arriving from
+/// untrusted input.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `chimes == 0` or `chimes > 7`.
-pub fn memory_loop(chimes: u32, strips: i64, vl: u32, stride: i64) -> Program {
-    assert!((1..=7).contains(&chimes), "1..=7 load chimes supported");
+/// Returns [`InvalidChimes`] unless `1 <= chimes <= 7`.
+pub fn try_memory_loop(
+    chimes: u32,
+    strips: i64,
+    vl: u32,
+    stride: i64,
+) -> Result<Program, InvalidChimes> {
+    if !(1..=7).contains(&chimes) {
+        return Err(InvalidChimes { chimes });
+    }
     let mut b = ProgramBuilder::new();
     b.set_vl_imm(vl);
     b.mov_int(strips, "s0");
@@ -49,7 +76,18 @@ pub fn memory_loop(chimes: u32, strips: i64, vl: u32, stride: i64) -> Program {
     b.cmp_imm("lt", 0, "s0");
     b.branch_true("L");
     b.halt();
-    b.build().expect("memory loop is valid")
+    Ok(b.build().expect("memory loop is valid"))
+}
+
+/// Builds a strip loop of `chimes` one-load chimes over `strips` strips
+/// at the given vector length — the standard ablation workload.
+///
+/// # Panics
+///
+/// Panics if `chimes == 0` or `chimes > 7`;
+/// [`try_memory_loop`] is the fallible form.
+pub fn memory_loop(chimes: u32, strips: i64, vl: u32, stride: i64) -> Program {
+    try_memory_loop(chimes, strips, vl, stride).expect("1..=7 load chimes supported")
 }
 
 /// A chained load/multiply/add/store loop — the standard compute-and-
@@ -94,5 +132,19 @@ mod tests {
     #[should_panic(expected = "load chimes")]
     fn zero_chimes_rejected() {
         let _ = memory_loop(0, 1, 128, 1);
+    }
+
+    #[test]
+    fn try_memory_loop_rejects_without_panicking() {
+        assert_eq!(
+            try_memory_loop(0, 1, 128, 1),
+            Err(InvalidChimes { chimes: 0 })
+        );
+        assert_eq!(
+            try_memory_loop(8, 1, 128, 1),
+            Err(InvalidChimes { chimes: 8 })
+        );
+        assert!(InvalidChimes { chimes: 8 }.to_string().contains('8'));
+        assert!(try_memory_loop(3, 1, 128, 1).is_ok());
     }
 }

@@ -1,0 +1,623 @@
+//! The fault-tolerant sweep server behind `macs-bench --serve`.
+//!
+//! The server reads newline-delimited sweep requests (the wire protocol
+//! of [`macs_core::sweep`]) from stdin, a Unix socket, or a TCP socket,
+//! evaluates each point on a supervised worker pool, and streams result
+//! rows (schema [`SWEEP_ROW_SCHEMA`]) back as NDJSON, ending with one
+//! [`SweepOutcomes`] summary row. The contract is *no dead server*: a
+//! malformed line, an invalid configuration, a panicking point, or a
+//! point that blows its deadline each become a structured error row while
+//! every other point keeps flowing.
+//!
+//! Supervision is [`macs_core::supervise`]: per-point deadline (the
+//! request's `deadline_ms`, falling back to the server-wide
+//! `--deadline-ms`), capped exponential backoff between retries, and a
+//! poison-point blacklist — a point that exhausts its retry budget is
+//! journaled as failed, so a `--resume` run does not burn the budget on
+//! it again.
+//!
+//! Checkpointing is the append-only [`Journal`]: every terminal keyed
+//! row (ok and failed alike) is flushed line-by-line as it completes, so
+//! a `kill -9` loses at most the in-flight points; `--resume <journal>`
+//! re-emits completed rows verbatim and computes only the rest. Healthy
+//! rows carry only simulated quantities (no wall-clock), which is what
+//! makes fresh and resumed runs bit-identical.
+
+use std::collections::{BTreeMap, HashSet};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use c240_obs::json::Json;
+use c240_obs::SweepOutcomes;
+use c240_sim::{Cpu, Machine, SimConfig};
+use macs_core::supervise::{supervise, FailureKind, RetryPolicy};
+use macs_core::sweep::{parse_point, Fault, Journal, ProtocolError, SweepPoint, SWEEP_ROW_SCHEMA};
+use macs_core::{measure_probed, Measurement};
+
+/// How the server evaluates and checkpoints a sweep.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// The base machine every point's overrides apply to.
+    pub base: SimConfig,
+    /// Worker threads (0 = [`macs_core::threads`]).
+    pub workers: usize,
+    /// Server-wide per-point deadline; a request's `deadline_ms`
+    /// overrides it.
+    pub deadline: Option<Duration>,
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Append completed points to this checkpoint journal.
+    pub journal: Option<PathBuf>,
+    /// Skip points already completed in this journal, re-emitting their
+    /// rows verbatim.
+    pub resume: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    /// The paper's C-240, auto worker count, no deadline, default
+    /// retries, no checkpointing.
+    fn default() -> Self {
+        ServeOptions {
+            base: SimConfig::c240(),
+            workers: 0,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            journal: None,
+            resume: None,
+        }
+    }
+}
+
+/// Terminal classification of one evaluated point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointClass {
+    /// Computed successfully.
+    Ok,
+    /// Rejected (unknown kernel, invalid config/passes) or failed inside
+    /// the simulator — deterministic, not retried.
+    Invalid,
+    /// Every attempt exceeded its deadline.
+    TimedOut,
+    /// Every attempt panicked.
+    Panicked,
+}
+
+/// One evaluated point: the output row plus its accounting.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// The NDJSON row to emit (and journal).
+    pub row: Json,
+    /// Terminal class, for the summary tally.
+    pub class: PointClass,
+    /// Whether more than one attempt was needed.
+    pub retried: bool,
+}
+
+/// The simulated quantities of a healthy row — deliberately free of
+/// wall-clock so fresh and resumed runs are bit-identical.
+struct Measured {
+    cycles: f64,
+    instructions: u64,
+    iterations: u64,
+    cpl: f64,
+    cpf: f64,
+    mflops: f64,
+    memory_wait_cpl: f64,
+}
+
+impl Measured {
+    fn of(m: &Measurement) -> Measured {
+        Measured {
+            cycles: m.stats.cycles,
+            instructions: m.stats.instructions.total(),
+            iterations: m.iterations,
+            cpl: m.cpl(),
+            cpf: m.cpf(),
+            mflops: m.mflops(),
+            memory_wait_cpl: m.stats.memory_wait_cycles / m.iterations.max(1) as f64,
+        }
+    }
+}
+
+fn base_row(point: &SweepPoint, key: &str) -> Json {
+    Json::obj()
+        .field("schema", SWEEP_ROW_SCHEMA)
+        .field("id", point.id.as_str())
+        .field("key", key)
+        .field("kernel", point.kernel)
+}
+
+fn error_row(
+    point: &SweepPoint,
+    key: &str,
+    kind: &str,
+    message: &str,
+    attempts: u32,
+    backoff_ms: &[u64],
+    poisoned: bool,
+) -> Json {
+    base_row(point, key)
+        .field("status", "error")
+        .field("error_kind", kind)
+        .field("message", message)
+        .field("attempts", attempts)
+        .field(
+            "backoff_ms",
+            Json::Arr(backoff_ms.iter().map(|&ms| Json::from(ms)).collect()),
+        )
+        .field("poisoned", poisoned)
+}
+
+/// Evaluates one parsed point against the base machine, under full
+/// supervision. This is the *same* code path the server's workers run —
+/// tests compare server output rows against direct `eval_point` calls to
+/// prove the transport adds nothing.
+pub fn eval_point(
+    point: &SweepPoint,
+    base: &SimConfig,
+    deadline: Option<Duration>,
+    retry: &RetryPolicy,
+) -> Evaluated {
+    let key = point.key();
+    let reject = |kind: &str, message: &str| Evaluated {
+        row: error_row(point, &key, kind, message, 0, &[], false),
+        class: PointClass::Invalid,
+        retried: false,
+    };
+    let Some(kernel) = lfk_suite::by_id(point.kernel) else {
+        return reject(
+            "unknown_kernel",
+            &format!("LFK{} is not part of the case study", point.kernel),
+        );
+    };
+    let cfg = point.config(base);
+    if let Err(e) = cfg.validate() {
+        return reject("invalid_config", &e.to_string());
+    }
+    let passes = point.passes.unwrap_or_else(|| kernel.passes());
+    let program = match kernel.try_program_with_passes(passes) {
+        Ok(p) => p,
+        Err(e) => return reject("invalid_passes", &e.to_string()),
+    };
+    let iterations = kernel.iterations_with_passes(passes);
+    let flops = kernel.flops_total();
+    let fault = point.inject;
+    let cpus = cfg.cpus as usize;
+    let run = move || -> Result<Measured, String> {
+        match fault {
+            Some(Fault::Panic) => panic!("injected fault"),
+            Some(Fault::SleepMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            None => {}
+        }
+        if cpus <= 1 {
+            // Mirrors `analyze_kernel`'s measured run exactly: fresh CPU,
+            // kernel setup, probed measurement.
+            let mut cpu = Cpu::new(cfg.clone());
+            kernel.setup(&mut cpu);
+            let (m, _probe) =
+                measure_probed(&mut cpu, &program, iterations, flops).map_err(|e| e.to_string())?;
+            Ok(Measured::of(&m))
+        } else {
+            // Lockstep co-simulation: the kernel on every CPU, reporting
+            // CPU 0 (all CPUs are symmetric under lockstep).
+            let mut machine = Machine::new(cfg.clone());
+            let programs: Vec<_> = (0..cpus)
+                .map(|i| {
+                    kernel.setup(machine.cpu_mut(i));
+                    program.clone()
+                })
+                .collect();
+            let mut stats = machine.run(&programs).map_err(|e| e.to_string())?;
+            let m = Measurement {
+                stats: stats.swap_remove(0),
+                iterations,
+                flops_per_iteration: flops,
+            };
+            Ok(Measured::of(&m))
+        }
+    };
+    let s = supervise(run, deadline, retry);
+    let retried = s.retried();
+    match s.result {
+        Ok(Ok(m)) => Evaluated {
+            row: base_row(point, &key)
+                .field("status", "ok")
+                .field("attempts", s.attempts)
+                .field("cpus", cpus as u64)
+                .field("passes", passes as f64)
+                .field("cycles", m.cycles)
+                .field("instructions", m.instructions)
+                .field("iterations", m.iterations)
+                .field("cpl", m.cpl)
+                .field("cpf", m.cpf)
+                .field("mflops", m.mflops)
+                .field("memory_wait_cpl", m.memory_wait_cpl),
+            class: PointClass::Ok,
+            retried,
+        },
+        Ok(Err(sim_message)) => Evaluated {
+            row: error_row(
+                point,
+                &key,
+                "sim",
+                &sim_message,
+                s.attempts,
+                &s.backoff_ms,
+                false,
+            ),
+            class: PointClass::Invalid,
+            retried,
+        },
+        Err(failure) => Evaluated {
+            row: error_row(
+                point,
+                &key,
+                failure.kind(),
+                &failure.message(),
+                s.attempts,
+                &s.backoff_ms,
+                true,
+            ),
+            class: match failure {
+                FailureKind::Panic { .. } => PointClass::Panicked,
+                FailureKind::Deadline { .. } => PointClass::TimedOut,
+            },
+            retried,
+        },
+    }
+}
+
+/// What flows from reader/workers to the single writer.
+struct Emit {
+    /// The journal key; `None` for rows without a stable identity
+    /// (protocol errors).
+    key: Option<String>,
+    row: Json,
+    kind: EmitKind,
+    retried: bool,
+}
+
+enum EmitKind {
+    Point(PointClass),
+    Resumed,
+    Duplicate,
+    Protocol,
+}
+
+impl Emit {
+    /// Terminal keyed rows — ok and poisoned/rejected alike — are
+    /// checkpointed; resumed rows are already in the journal and
+    /// protocol errors and duplicates have no computation to record.
+    fn journaled(&self) -> bool {
+        self.key.is_some() && matches!(self.kind, EmitKind::Point(_))
+    }
+
+    fn tally(&self, outcomes: &mut SweepOutcomes) {
+        match self.kind {
+            EmitKind::Point(PointClass::Ok) => outcomes.ok += 1,
+            EmitKind::Point(PointClass::Invalid) | EmitKind::Protocol => outcomes.invalid += 1,
+            EmitKind::Point(PointClass::TimedOut) => outcomes.timed_out += 1,
+            EmitKind::Point(PointClass::Panicked) => outcomes.panicked += 1,
+            EmitKind::Resumed => outcomes.resumed += 1,
+            EmitKind::Duplicate => outcomes.duplicate += 1,
+        }
+        if self.retried {
+            outcomes.retried += 1;
+        }
+    }
+}
+
+fn protocol_row(error: &ProtocolError, line: &str) -> Json {
+    let mut shown: String = line.chars().take(200).collect();
+    if shown.len() < line.len() {
+        shown.push('…');
+    }
+    Json::obj()
+        .field("schema", SWEEP_ROW_SCHEMA)
+        .field("status", "error")
+        .field("error_kind", "protocol")
+        .field("message", error.to_string())
+        .field("line", shown)
+}
+
+fn duplicate_row(point: &SweepPoint, key: &str) -> Json {
+    error_row(
+        point,
+        key,
+        "duplicate",
+        &format!("point key {key} was already submitted in this run"),
+        0,
+        &[],
+        false,
+    )
+}
+
+/// Serves one request stream to completion: evaluates every line,
+/// streams rows to `output` as they finish (completion order, not input
+/// order — rows carry their `id` and `key`), then emits the summary row
+/// and returns the tally.
+///
+/// # Errors
+///
+/// Fails on journal I/O errors and on `output` write errors. Input
+/// errors (including a mid-stream EOF) end the stream cleanly — every
+/// fully received line is still answered and the summary still emitted.
+pub fn serve(
+    input: impl BufRead + Send,
+    mut output: impl Write,
+    opts: &ServeOptions,
+) -> io::Result<SweepOutcomes> {
+    let resumed: BTreeMap<String, Json> = match &opts.resume {
+        Some(path) => Journal::load(path)?,
+        None => BTreeMap::new(),
+    };
+    let mut journal = match &opts.journal {
+        Some(path) => Some(Journal::open_append(path)?),
+        None => None,
+    };
+    let workers = if opts.workers == 0 {
+        macs_core::threads()
+    } else {
+        opts.workers
+    };
+    let (job_tx, job_rx) = mpsc::channel::<SweepPoint>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (out_tx, out_rx) = mpsc::channel::<Emit>();
+    let mut outcomes = SweepOutcomes::new();
+    let resumed = &resumed;
+    std::thread::scope(|scope| -> io::Result<()> {
+        let reader_tx = out_tx.clone();
+        scope.spawn(move || {
+            // Send failures below mean the writer already bailed on an
+            // output error; keep draining input so the scope can join.
+            let mut seen: HashSet<String> = HashSet::new();
+            for line in input.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_point(&line) {
+                    Err(e) => {
+                        let _ = reader_tx.send(Emit {
+                            key: None,
+                            row: protocol_row(&e, &line),
+                            kind: EmitKind::Protocol,
+                            retried: false,
+                        });
+                    }
+                    Ok(point) => {
+                        let key = point.key();
+                        if !seen.insert(key.clone()) {
+                            let _ = reader_tx.send(Emit {
+                                key: Some(key.clone()),
+                                row: duplicate_row(&point, &key),
+                                kind: EmitKind::Duplicate,
+                                retried: false,
+                            });
+                        } else if let Some(row) = resumed.get(&key) {
+                            let _ = reader_tx.send(Emit {
+                                key: Some(key),
+                                row: row.clone(),
+                                kind: EmitKind::Resumed,
+                                retried: false,
+                            });
+                        } else {
+                            let _ = job_tx.send(point);
+                        }
+                    }
+                }
+            }
+        });
+        for _ in 0..workers {
+            let job_rx = Arc::clone(&job_rx);
+            let tx = out_tx.clone();
+            let base = opts.base.clone();
+            let retry = opts.retry;
+            let deadline = opts.deadline;
+            scope.spawn(move || loop {
+                let job = job_rx.lock().expect("job queue lock").recv();
+                let Ok(point) = job else { break };
+                let point_deadline = point.deadline_ms.map(Duration::from_millis).or(deadline);
+                let evaluated = eval_point(&point, &base, point_deadline, &retry);
+                let _ = tx.send(Emit {
+                    key: Some(point.key()),
+                    row: evaluated.row,
+                    kind: EmitKind::Point(evaluated.class),
+                    retried: evaluated.retried,
+                });
+            });
+        }
+        drop(out_tx);
+        for emit in out_rx {
+            writeln!(output, "{}", emit.row)?;
+            output.flush()?;
+            if emit.journaled() {
+                if let (Some(journal), Some(key)) = (journal.as_mut(), emit.key.as_deref()) {
+                    journal.record(key, &emit.row)?;
+                }
+            }
+            emit.tally(&mut outcomes);
+        }
+        Ok(())
+    })?;
+    writeln!(output, "{}", outcomes.to_json())?;
+    output.flush()?;
+    Ok(outcomes)
+}
+
+/// Binds `addr` and serves TCP connections one at a time, forever (the
+/// process is stopped externally). Each connection is an independent
+/// request stream; with `--journal`/`--resume` pointed at the same file,
+/// later connections resume from earlier ones' checkpoints.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound or accepting fails.
+pub fn serve_tcp(addr: &str, opts: &ServeOptions) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("macs-bench: serving on tcp {}", listener.local_addr()?);
+    loop {
+        let (stream, peer) = listener.accept()?;
+        let reader = BufReader::new(stream.try_clone()?);
+        match serve(reader, &stream, opts) {
+            Ok(outcomes) => eprintln!("macs-bench: {peer}: {outcomes}"),
+            Err(e) => eprintln!("macs-bench: {peer}: connection failed: {e}"),
+        }
+    }
+}
+
+/// Binds a Unix socket at `path` and serves connections one at a time,
+/// forever; see [`serve_tcp`]. A stale socket file at `path` is removed
+/// first.
+///
+/// # Errors
+///
+/// Fails if the socket cannot be bound or accepting fails.
+#[cfg(unix)]
+pub fn serve_unix(path: &std::path::Path, opts: &ServeOptions) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    eprintln!("macs-bench: serving on unix socket {}", path.display());
+    loop {
+        let (stream, _) = listener.accept()?;
+        let reader = BufReader::new(stream.try_clone()?);
+        match serve(reader, &stream, opts) {
+            Ok(outcomes) => eprintln!("macs-bench: {outcomes}"),
+            Err(e) => eprintln!("macs-bench: connection failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve_lines(lines: &str, opts: &ServeOptions) -> (Vec<Json>, SweepOutcomes) {
+        let mut out = Vec::new();
+        let outcomes = serve(lines.as_bytes(), &mut out, opts).expect("serve succeeds");
+        let rows = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).expect("every output line is JSON"))
+            .collect();
+        (rows, outcomes)
+    }
+
+    fn fast_opts() -> ServeOptions {
+        ServeOptions {
+            workers: 2,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(2),
+            },
+            ..ServeOptions::default()
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_just_the_summary() {
+        let (rows, outcomes) = serve_lines("", &fast_opts());
+        assert_eq!(outcomes.points(), 0);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get("schema").and_then(Json::as_str),
+            Some(c240_obs::SWEEP_SUMMARY_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn a_mixed_stream_degrades_gracefully() {
+        let input = "\
+            {\"id\":\"good\",\"kernel\":12}\n\
+            this is not json\n\
+            {\"id\":\"badcfg\",\"kernel\":1,\"config\":{\"cpus\":0}}\n\
+            {\"id\":\"nokernel\",\"kernel\":5}\n\
+            {\"id\":\"boom\",\"kernel\":1,\"inject\":\"panic\"}\n\
+            {\"id\":\"dup\",\"kernel\":12}\n";
+        let (rows, outcomes) = serve_lines(input, &fast_opts());
+        assert_eq!(outcomes.ok, 1);
+        assert_eq!(outcomes.invalid, 3, "{outcomes}");
+        assert_eq!(outcomes.panicked, 1);
+        assert_eq!(outcomes.duplicate, 1);
+        assert_eq!(rows.len(), 7, "six rows plus the summary");
+        let by_id = |id: &str| {
+            rows.iter()
+                .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("row {id} missing"))
+        };
+        assert_eq!(
+            by_id("good").get("status").and_then(Json::as_str),
+            Some("ok")
+        );
+        assert_eq!(
+            by_id("badcfg").get("error_kind").and_then(Json::as_str),
+            Some("invalid_config")
+        );
+        assert_eq!(
+            by_id("nokernel").get("error_kind").and_then(Json::as_str),
+            Some("unknown_kernel")
+        );
+        let boom = by_id("boom");
+        assert_eq!(boom.get("error_kind").and_then(Json::as_str), Some("panic"));
+        assert_eq!(boom.get("attempts").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(boom.get("poisoned"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn server_rows_match_direct_eval() {
+        let opts = fast_opts();
+        let line = "{\"id\":\"k12\",\"kernel\":12,\"config\":{\"chaining\":false}}";
+        let (rows, _) = serve_lines(&format!("{line}\n"), &opts);
+        let direct = eval_point(&parse_point(line).unwrap(), &opts.base, None, &opts.retry);
+        assert_eq!(rows[0], direct.row, "transport must add nothing");
+    }
+
+    #[test]
+    fn journal_and_resume_round_trip() {
+        let dir = std::env::temp_dir().join(format!("macs-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("j.ndjson");
+        let input = "{\"id\":\"a\",\"kernel\":12}\n{\"id\":\"b\",\"kernel\":3}\n";
+        let mut opts = fast_opts();
+        opts.journal = Some(journal.clone());
+        let (fresh_rows, fresh) = serve_lines(input, &opts);
+        assert_eq!(fresh.ok, 2);
+        opts.resume = Some(journal.clone());
+        let (resumed_rows, resumed) = serve_lines(input, &opts);
+        assert_eq!(resumed.resumed, 2);
+        assert_eq!(resumed.ok, 0);
+        // Resumed rows are the journaled rows verbatim — bit-identical.
+        for row in fresh_rows.iter().filter(|r| r.get("key").is_some()) {
+            assert!(resumed_rows.contains(row), "row not re-emitted verbatim");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_produces_a_timeout_row_and_the_server_survives() {
+        let input =
+            "{\"id\":\"slow\",\"kernel\":1,\"inject\":{\"sleep_ms\":2000},\"deadline_ms\":30}\n\
+                     {\"id\":\"fast\",\"kernel\":12}\n";
+        let mut opts = fast_opts();
+        opts.retry = RetryPolicy::once();
+        let (rows, outcomes) = serve_lines(input, &opts);
+        assert_eq!(outcomes.timed_out, 1);
+        assert_eq!(outcomes.ok, 1);
+        let slow = rows
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some("slow"))
+            .unwrap();
+        assert_eq!(
+            slow.get("error_kind").and_then(Json::as_str),
+            Some("timeout")
+        );
+    }
+}

@@ -68,6 +68,8 @@ pub mod pool;
 mod report;
 mod reschedule;
 mod runreport;
+pub mod supervise;
+pub mod sweep;
 mod workload;
 
 pub use advisor::{advise, Action, Advice};
@@ -86,4 +88,9 @@ pub use pool::{parallel_map, threads};
 pub use report::{hierarchy_figure, TextTable};
 pub use reschedule::reschedule_for_chimes;
 pub use runreport::{RunReport, RUN_REPORT_SCHEMA};
+pub use supervise::{supervise, FailureKind, RetryPolicy, Supervised};
+pub use sweep::{
+    parse_point, Contention, Fault, Journal, Overrides, ProtocolError, SweepPoint, JOURNAL_SCHEMA,
+    SWEEP_ROW_SCHEMA,
+};
 pub use workload::MacWorkload;

@@ -15,7 +15,20 @@
 //!
 //! [`SimConfig`]: c240_sim::SimConfig
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+
+/// Renders a `catch_unwind` payload as the human-readable panic message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "MACS_THREADS";
@@ -59,6 +72,15 @@ pub fn threads() -> usize {
 /// (a fast kernel next to a slow ablation point) balances naturally.
 /// With one worker (or one item) it degenerates to a plain serial map
 /// with no threads spawned.
+///
+/// # Panics
+///
+/// If `f` panics on some item, the pool stops handing out further work,
+/// lets in-flight items finish, and re-raises a panic that names the
+/// **lowest failing input index** and the original message — instead of
+/// poisoning the scope join and losing which input failed. (Supervised
+/// evaluation that *recovers* from per-point panics is
+/// [`crate::supervise`]'s job; this map stays all-or-nothing.)
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -67,22 +89,57 @@ where
 {
     let workers = threads().min(items.len());
     if workers <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(index, item)| {
+                catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(|payload| {
+                    panic!(
+                        "parallel_map: closure panicked on item {index}: {}",
+                        panic_message(payload.as_ref())
+                    )
+                })
+            })
+            .collect();
     }
     let queue = Mutex::new(items.into_iter().enumerate());
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // The queue lock cannot be poisoned: nothing inside the
+                // critical section can panic.
                 let next = queue.lock().expect("queue lock").next();
                 let Some((index, item)) = next else {
                     break;
                 };
-                let result = f(item);
-                results.lock().expect("results lock").push((index, result));
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(result) => {
+                        results.lock().expect("results lock").push((index, result));
+                    }
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        let mut slot = failure.lock().expect("failure lock");
+                        // Keep the lowest index so the re-raised message
+                        // is deterministic regardless of schedule.
+                        if slot.as_ref().is_none_or(|(i, _)| index < *i) {
+                            *slot = Some((index, message));
+                        }
+                        drop(slot);
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
             });
         }
     });
+    if let Some((index, message)) = failure.into_inner().expect("workers finished") {
+        panic!("parallel_map: closure panicked on item {index}: {message}");
+    }
     let mut pairs = results.into_inner().expect("workers finished");
     pairs.sort_by_key(|&(index, _)| index);
     pairs.into_iter().map(|(_, result)| result).collect()
@@ -140,5 +197,50 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn panic_names_the_failing_item() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..32u64).collect(), |i| {
+                if i == 13 {
+                    panic!("bad point LFK{i}");
+                }
+                i
+            })
+        }))
+        .unwrap_err();
+        let message = panic_message(caught.as_ref());
+        assert!(message.contains("item 13"), "got: {message}");
+        assert!(message.contains("bad point LFK13"), "got: {message}");
+    }
+
+    #[test]
+    fn panic_in_serial_path_names_the_item_too() {
+        // One item forces the no-thread path.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(vec![7u64], |_| -> u64 { panic!("lone failure") })
+        }))
+        .unwrap_err();
+        let message = panic_message(caught.as_ref());
+        assert!(message.contains("item 0"), "got: {message}");
+        assert!(message.contains("lone failure"), "got: {message}");
+    }
+
+    #[test]
+    fn lowest_failing_index_wins_when_several_panic() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..64u64).collect(), |i| {
+                if i % 2 == 1 {
+                    panic!("odd item");
+                }
+                i
+            })
+        }))
+        .unwrap_err();
+        let message = panic_message(caught.as_ref());
+        // Item 1 is claimed first; later odd items may also fail, but
+        // the report must stay deterministic.
+        assert!(message.contains("item 1:"), "got: {message}");
     }
 }

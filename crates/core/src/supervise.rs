@@ -1,0 +1,316 @@
+//! Supervised evaluation of one sweep point: panic isolation, per-point
+//! deadlines, and capped-exponential-backoff retries.
+//!
+//! [`pool::parallel_map`] is all-or-nothing: one bad point aborts the
+//! whole map (now with the point's identity, but still an abort). A
+//! long-running sweep *server* needs the opposite contract — a panicking
+//! or wedged point must become a structured error row while every other
+//! point keeps flowing. [`supervise`] provides that contract for a single
+//! evaluation:
+//!
+//! * the closure runs under `catch_unwind`, so a panic becomes
+//!   [`FailureKind::Panic`] carrying the payload message;
+//! * with a deadline, the attempt runs on a watchdog-observed worker
+//!   thread; if it does not finish in time the attempt is abandoned and
+//!   becomes [`FailureKind::Deadline`] (the abandoned thread parks no
+//!   resources beyond its stack and dies with the simulator's
+//!   `max_instructions` runaway guard or process exit);
+//! * failures are retried up to [`RetryPolicy::max_attempts`] with
+//!   capped exponential backoff; a point that exhausts its budget is
+//!   *poisoned* — the caller blacklists it (journals the failure row) so
+//!   a `--resume` run does not burn the budget again.
+//!
+//! [`pool::parallel_map`]: crate::pool::parallel_map
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::pool::panic_message;
+
+/// Retry budget and backoff shape for supervised evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per point (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub backoff_base: Duration,
+    /// Upper bound every backoff is clamped to.
+    pub backoff_cap: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, no backoff.
+    pub fn once() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    /// The backoff slept after the `failed_attempts`-th failed attempt
+    /// (1-based): `base · 2^(failed_attempts−1)`, clamped to the cap.
+    pub fn backoff(&self, failed_attempts: u32) -> Duration {
+        let doublings = failed_attempts.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << doublings)
+            .min(self.backoff_cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms base backoff, 1 s cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Why a supervised attempt (and, terminally, a point) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The closure panicked; the payload message is preserved.
+    Panic {
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// The attempt exceeded its deadline and was abandoned.
+    Deadline {
+        /// The deadline that was exceeded.
+        limit: Duration,
+    },
+}
+
+impl FailureKind {
+    /// The wire-protocol error-kind tag for this failure.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FailureKind::Panic { .. } => "panic",
+            FailureKind::Deadline { .. } => "timeout",
+        }
+    }
+
+    /// A one-line human-readable description.
+    pub fn message(&self) -> String {
+        match self {
+            FailureKind::Panic { message } => format!("panicked: {message}"),
+            FailureKind::Deadline { limit } => {
+                format!("exceeded the {} ms deadline", limit.as_millis())
+            }
+        }
+    }
+}
+
+/// The terminal result of supervising one point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supervised<R> {
+    /// The value, or the *last* attempt's failure.
+    pub result: Result<R, FailureKind>,
+    /// Attempts actually made (1..=`max_attempts`).
+    pub attempts: u32,
+    /// Backoffs slept between attempts, in milliseconds, in order.
+    pub backoff_ms: Vec<u64>,
+}
+
+impl<R> Supervised<R> {
+    /// Whether the point exhausted its retry budget without succeeding
+    /// (the poison-point condition).
+    pub fn poisoned(&self) -> bool {
+        self.result.is_err()
+    }
+
+    /// Whether more than one attempt was needed, whatever the outcome.
+    pub fn retried(&self) -> bool {
+        self.attempts > 1
+    }
+}
+
+/// One attempt: inline when there is no deadline, on a watchdog-observed
+/// worker thread otherwise.
+fn attempt<R, F>(f: &Arc<F>, deadline: Option<Duration>) -> Result<R, FailureKind>
+where
+    F: Fn() -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let Some(limit) = deadline else {
+        return catch_unwind(AssertUnwindSafe(|| f())).map_err(|p| FailureKind::Panic {
+            message: panic_message(p.as_ref()),
+        });
+    };
+    let (tx, rx) = mpsc::channel();
+    let worker = Arc::clone(f);
+    let spawned = std::thread::Builder::new()
+        .name("macs-sweep-point".into())
+        .spawn(move || {
+            // A send failure means the supervisor already gave up on the
+            // deadline and dropped the receiver; the result is discarded.
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(|| worker())));
+        });
+    if spawned.is_err() {
+        // Thread exhaustion: treat as a (retryable) deadline failure
+        // rather than tearing the server down.
+        return Err(FailureKind::Deadline { limit });
+    }
+    match rx.recv_timeout(limit) {
+        Ok(Ok(value)) => Ok(value),
+        Ok(Err(payload)) => Err(FailureKind::Panic {
+            message: panic_message(payload.as_ref()),
+        }),
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(FailureKind::Deadline { limit }),
+        // The worker vanished without sending — only possible if the
+        // process is being torn down; report it as a panic.
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(FailureKind::Panic {
+            message: "worker thread vanished".into(),
+        }),
+    }
+}
+
+/// Runs `f` under supervision: panics caught, the deadline enforced per
+/// attempt, failures retried per `retry`.
+///
+/// The closure must be `'static` because a deadline-exceeding attempt is
+/// abandoned on its worker thread (which may still be running when this
+/// function returns); share state with the caller through the return
+/// value only.
+pub fn supervise<R, F>(f: F, deadline: Option<Duration>, retry: &RetryPolicy) -> Supervised<R>
+where
+    F: Fn() -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let f = Arc::new(f);
+    let budget = retry.max_attempts.max(1);
+    let mut backoff_ms = Vec::new();
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match attempt(&f, deadline) {
+            Ok(value) => {
+                return Supervised {
+                    result: Ok(value),
+                    attempts,
+                    backoff_ms,
+                }
+            }
+            Err(failure) => {
+                if attempts >= budget {
+                    return Supervised {
+                        result: Err(failure),
+                        attempts,
+                        backoff_ms,
+                    };
+                }
+                let pause = retry.backoff(attempts);
+                backoff_ms.push(pause.as_millis() as u64);
+                std::thread::sleep(pause);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+        }
+    }
+
+    #[test]
+    fn healthy_point_succeeds_first_try() {
+        let s = supervise(|| 42u32, None, &RetryPolicy::default());
+        assert_eq!(s.result, Ok(42));
+        assert_eq!(s.attempts, 1);
+        assert!(s.backoff_ms.is_empty());
+        assert!(!s.poisoned());
+        assert!(!s.retried());
+    }
+
+    #[test]
+    fn panicking_point_is_poisoned_after_the_budget() {
+        let s = supervise(|| -> u32 { panic!("injected fault") }, None, &fast_retry(3));
+        assert_eq!(s.attempts, 3);
+        assert!(s.poisoned());
+        assert!(s.retried());
+        assert_eq!(s.backoff_ms, vec![1, 2]);
+        match s.result {
+            Err(FailureKind::Panic { ref message }) => {
+                assert!(message.contains("injected fault"))
+            }
+            other => panic!("expected a panic failure, got {other:?}"),
+        }
+        assert_eq!(s.result.unwrap_err().kind(), "panic");
+    }
+
+    #[test]
+    fn flaky_point_recovers_within_the_budget() {
+        static TRIES: AtomicU32 = AtomicU32::new(0);
+        let s = supervise(
+            || {
+                if TRIES.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient");
+                }
+                7u32
+            },
+            None,
+            &fast_retry(5),
+        );
+        assert_eq!(s.result, Ok(7));
+        assert_eq!(s.attempts, 3);
+        assert!(s.retried());
+        assert!(!s.poisoned());
+    }
+
+    #[test]
+    fn slow_point_times_out_and_is_abandoned() {
+        let s = supervise(
+            || {
+                std::thread::sleep(Duration::from_secs(5));
+                1u32
+            },
+            Some(Duration::from_millis(20)),
+            &fast_retry(2),
+        );
+        assert_eq!(s.attempts, 2);
+        match s.result {
+            Err(FailureKind::Deadline { limit }) => {
+                assert_eq!(limit, Duration::from_millis(20))
+            }
+            other => panic!("expected a deadline failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_passes_through_a_fast_point() {
+        let s = supervise(|| 9u32, Some(Duration::from_secs(10)), &fast_retry(1));
+        assert_eq!(s.result, Ok(9));
+        assert_eq!(s.attempts, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(35));
+        assert_eq!(
+            p.backoff(30),
+            Duration::from_millis(35),
+            "deep doublings clamp"
+        );
+        assert_eq!(RetryPolicy::once().backoff(1), Duration::ZERO);
+    }
+}

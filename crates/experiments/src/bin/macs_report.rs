@@ -3,11 +3,13 @@
 //! ```text
 //! macs-report [ARTIFACT...] [--cpus N] [--mix lockstep|mixed]
 //!             [--csv DIR] [--json PATH] [--trace-out DIR]
+//!             [--kernels a,b,..] [--ablations t1,t2,..] [--shard I/N]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 fig1 fig2 fig3 lfk1
-//!           cosim all   (default: all)
+//!           cosim sweep-grid all   (default: all)
 //! --cpus N:        co-simulated CPUs for the `cosim` artifact
 //!                  (default 4, the machine the paper's bands describe)
+//!                  and per-point CPUs for `sweep-grid`
 //! --mix MIX:       restrict `cosim` to one workload mix
 //!                  (default: both lockstep and mixed)
 //! --csv DIR:       additionally write each table as CSV into DIR
@@ -15,7 +17,15 @@
 //!                  (one RunReport per kernel, schema-stable JSON)
 //! --trace-out DIR: write a per-kernel pipeline trace (event log +
 //!                  ASCII Gantt) and stall-account CSV into DIR
+//! --kernels:       restrict `sweep-grid` to these kernel ids
+//! --ablations:     restrict `sweep-grid` to these ablation tags
+//!                  (baseline nochain nobubbles norefresh nopair)
+//! --shard I/N:     emit only shard I of N of the `sweep-grid` points
 //! ```
+//!
+//! `sweep-grid` prints wire-protocol request lines for the kernels ×
+//! ablations grid — pipe them into `macs-bench --serve`. It is not part
+//! of `all` (it writes requests, not artifacts).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,34 +34,41 @@ use c240_obs::json::Json;
 use c240_sim::{Cpu, SimConfig};
 use macs_core::{ChimeConfig, RunReport, RUN_REPORT_SCHEMA};
 use macs_experiments::cosim::{cosim_csv, cosim_table, run_cosim, Mix};
-use macs_experiments::{figures, tables, worked_example, Suite};
+use macs_experiments::{figures, tables, worked_example, Ablation, GridSpec, Suite};
 
 struct Args {
     artifacts: Vec<String>,
-    cpus: u32,
+    cpus: Option<u32>,
     mix: Option<Mix>,
     csv_dir: Option<PathBuf>,
     json_path: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
+    kernels: Option<Vec<u32>>,
+    ablations: Option<Vec<Ablation>>,
+    shard: (u32, u32),
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut artifacts = Vec::new();
-    let mut cpus = 4u32;
+    let mut cpus: Option<u32> = None;
     let mut mix = None;
     let mut csv_dir = None;
     let mut json_path = None;
     let mut trace_dir = None;
+    let mut kernels = None;
+    let mut ablations = None;
+    let mut shard = (0u32, 1u32);
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--cpus" => {
                 let n = it.next().ok_or("--cpus requires a count")?;
-                cpus = n
-                    .parse::<u32>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| format!("--cpus {n}: expected a positive integer"))?;
+                cpus = Some(
+                    n.parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--cpus {n}: expected a positive integer"))?,
+                );
             }
             "--mix" => {
                 let m = it.next().ok_or("--mix requires lockstep|mixed")?;
@@ -72,16 +89,51 @@ fn parse_args() -> Result<Args, String> {
                 let dir = it.next().ok_or("--trace-out requires a directory")?;
                 trace_dir = Some(PathBuf::from(dir));
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|cosim|all]... \
-                     [--cpus N] [--mix lockstep|mixed] [--csv DIR] [--json PATH] \
-                     [--trace-out DIR]"
-                        .to_string(),
-                )
+            "--kernels" => {
+                let list = it
+                    .next()
+                    .ok_or("--kernels requires a comma-separated list")?;
+                let parsed: Result<Vec<u32>, String> = list
+                    .split(',')
+                    .map(|k| {
+                        k.trim()
+                            .parse::<u32>()
+                            .map_err(|_| format!("--kernels: bad kernel id {k:?}"))
+                    })
+                    .collect();
+                kernels = Some(parsed?);
             }
+            "--ablations" => {
+                let list = it
+                    .next()
+                    .ok_or("--ablations requires a comma-separated list")?;
+                let parsed: Result<Vec<Ablation>, String> = list
+                    .split(',')
+                    .map(|t| {
+                        Ablation::parse(t.trim())
+                            .ok_or_else(|| format!("--ablations: unknown tag {t:?}"))
+                    })
+                    .collect();
+                ablations = Some(parsed?);
+            }
+            "--shard" => {
+                let spec = it.next().ok_or("--shard requires I/N")?;
+                shard = spec
+                    .split_once('/')
+                    .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)))
+                    .filter(|&(i, n): &(u32, u32)| n >= 1 && i < n)
+                    .ok_or_else(|| format!("--shard {spec}: expected I/N with I < N"))?;
+            }
+            "--help" | "-h" => return Err(
+                "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|cosim|sweep-grid|all]... \
+                     [--cpus N] [--mix lockstep|mixed] [--csv DIR] [--json PATH] \
+                     [--trace-out DIR] [--kernels a,b,..] [--ablations t1,t2,..] [--shard I/N]"
+                    .to_string(),
+            ),
             known @ ("table1" | "table2" | "table3" | "table4" | "table5" | "fig1" | "fig2"
-            | "fig3" | "lfk1" | "asm" | "cosim" | "all") => artifacts.push(known.to_string()),
+            | "fig3" | "lfk1" | "asm" | "cosim" | "sweep-grid" | "all") => {
+                artifacts.push(known.to_string())
+            }
             other => return Err(format!("unknown artifact `{other}` (try --help)")),
         }
     }
@@ -95,6 +147,9 @@ fn parse_args() -> Result<Args, String> {
         csv_dir,
         json_path,
         trace_dir,
+        kernels,
+        ablations,
+        shard,
     })
 }
 
@@ -160,6 +215,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // sweep-grid writes protocol requests, not artifacts, so it is
+    // explicit-only (never part of `all`) and preempts everything else.
+    if args.artifacts.iter().any(|a| a == "sweep-grid") {
+        let mut grid = GridSpec {
+            shard_index: args.shard.0,
+            shard_count: args.shard.1,
+            ..GridSpec::default()
+        };
+        if let Some(kernels) = args.kernels {
+            grid.kernels = kernels;
+        }
+        if let Some(ablations) = args.ablations {
+            grid.ablations = ablations;
+        }
+        if let Some(cpus) = args.cpus {
+            grid.cpus = cpus;
+        }
+        print!("{}", grid.request_lines());
+        return ExitCode::SUCCESS;
+    }
     let want = |name: &str| {
         args.artifacts.iter().any(|a| a == name) || args.artifacts.iter().any(|a| a == "all")
     };
@@ -217,9 +292,11 @@ fn main() -> ExitCode {
             Some(m) => vec![m],
             None => vec![Mix::Lockstep, Mix::Mixed],
         };
+        // The paper's bands describe the 4-CPU machine.
+        let cpus = args.cpus.unwrap_or(4);
         for mix in mixes {
-            eprintln!("co-simulating {} CPUs ({mix} mix)...", args.cpus);
-            let report = run_cosim(&sim.clone().with_cpus(args.cpus), mix);
+            eprintln!("co-simulating {cpus} CPUs ({mix} mix)...");
+            let report = run_cosim(&sim.clone().with_cpus(cpus), mix);
             println!("{}", cosim_table(&report));
             csv_outputs.push((format!("cosim_{mix}.csv"), cosim_csv(&report)));
         }

@@ -22,9 +22,11 @@
 pub mod cosim;
 pub mod figures;
 pub mod paper;
+pub mod sweep;
 pub mod tables;
 mod worked;
 
+pub use sweep::{Ablation, GridSpec};
 pub use worked::{worked_example, WorkedExample};
 
 use c240_sim::SimConfig;

@@ -1,0 +1,207 @@
+//! Sweep-grid generation for the `macs-bench --serve` wire protocol.
+//!
+//! The experiments crate drives its ablation studies through the sweep
+//! server by *generating request lines* rather than linking the server
+//! (the bench crate sits above this one in the workspace). A
+//! [`GridSpec`] is the cross product of kernels × machine ablations,
+//! rendered one [`SweepPoint`] request line per point:
+//!
+//! ```text
+//! macs-report sweep-grid | macs-bench --serve --journal sweep.ndjson
+//! ```
+//!
+//! Grids shard deterministically: `--shard i/n` keeps every n-th point
+//! starting at i, so a grid can be split across two server processes
+//! (or machines) and the journals concatenated afterwards — point keys
+//! are content-addressed, so merged journals never collide.
+
+use macs_core::sweep::{Overrides, SweepPoint};
+
+/// The machine-model ablations of the standard grid — the design
+/// choices the paper's ablation benches toggle one at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// The paper's C-240 as-is.
+    Baseline,
+    /// Operand chaining disabled.
+    NoChaining,
+    /// Tailgating bubbles zeroed.
+    NoBubbles,
+    /// Memory refresh disabled.
+    NoRefresh,
+    /// The register-pair port constraint lifted.
+    NoPairConstraint,
+}
+
+impl Ablation {
+    /// Every ablation, baseline first.
+    pub const ALL: [Ablation; 5] = [
+        Ablation::Baseline,
+        Ablation::NoChaining,
+        Ablation::NoBubbles,
+        Ablation::NoRefresh,
+        Ablation::NoPairConstraint,
+    ];
+
+    /// The short tag used in point ids (and `--ablations` arguments).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Ablation::Baseline => "baseline",
+            Ablation::NoChaining => "nochain",
+            Ablation::NoBubbles => "nobubbles",
+            Ablation::NoRefresh => "norefresh",
+            Ablation::NoPairConstraint => "nopair",
+        }
+    }
+
+    /// Parses a [`Ablation::tag`]-style name.
+    pub fn parse(tag: &str) -> Option<Ablation> {
+        Ablation::ALL.into_iter().find(|a| a.tag() == tag)
+    }
+
+    /// The config overrides this ablation applies to the server's base.
+    pub fn overrides(&self) -> Overrides {
+        let mut o = Overrides::default();
+        match self {
+            Ablation::Baseline => {}
+            Ablation::NoChaining => o.chaining = Some(false),
+            Ablation::NoBubbles => o.bubbles = Some(false),
+            Ablation::NoRefresh => o.refresh = Some(false),
+            Ablation::NoPairConstraint => o.pair_constraint = Some(false),
+        }
+        o
+    }
+}
+
+/// A kernels × ablations sweep grid.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Kernel ids to sweep (the case-study registry by default).
+    pub kernels: Vec<u32>,
+    /// Ablations to cross with each kernel.
+    pub ablations: Vec<Ablation>,
+    /// Co-simulated CPUs per point (1 = single-CPU measurement).
+    pub cpus: u32,
+    /// Keep only points with `index % shard_count == shard_index`.
+    pub shard_index: u32,
+    /// Total shards the grid is split across (at least 1).
+    pub shard_count: u32,
+}
+
+impl Default for GridSpec {
+    /// The full registry × every ablation, single CPU, unsharded.
+    fn default() -> Self {
+        GridSpec {
+            kernels: lfk_suite::IDS.to_vec(),
+            ablations: Ablation::ALL.to_vec(),
+            cpus: 1,
+            shard_index: 0,
+            shard_count: 1,
+        }
+    }
+}
+
+impl GridSpec {
+    /// The grid's points (this shard only), in kernel-major order.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let shard_count = self.shard_count.max(1);
+        let mut points = Vec::new();
+        for (index, (&kernel, ablation)) in self
+            .kernels
+            .iter()
+            .flat_map(|k| self.ablations.iter().map(move |a| (k, a)))
+            .enumerate()
+        {
+            if index as u32 % shard_count != self.shard_index % shard_count {
+                continue;
+            }
+            let mut overrides = ablation.overrides();
+            if self.cpus > 1 {
+                overrides.cpus = Some(self.cpus);
+            }
+            points.push(SweepPoint {
+                id: format!("lfk{kernel}-{}", ablation.tag()),
+                kernel,
+                passes: None,
+                deadline_ms: None,
+                inject: None,
+                overrides,
+            });
+        }
+        points
+    }
+
+    /// The grid as wire-protocol request lines, one per point.
+    pub fn request_lines(&self) -> String {
+        let mut out = String::new();
+        for point in self.points() {
+            out.push_str(&point.request_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use macs_core::sweep::parse_point;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_grid_covers_the_registry_times_every_ablation() {
+        let points = GridSpec::default().points();
+        assert_eq!(points.len(), 10 * Ablation::ALL.len());
+        let keys: HashSet<String> = points.iter().map(|p| p.key()).collect();
+        assert_eq!(keys.len(), points.len(), "keys are unique across the grid");
+    }
+
+    #[test]
+    fn request_lines_parse_back_to_the_same_points() {
+        let grid = GridSpec::default();
+        let points = grid.points();
+        for (line, point) in grid.request_lines().lines().zip(&points) {
+            let parsed = parse_point(line).expect("generated lines are valid protocol");
+            assert_eq!(&parsed, point);
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_grid_exactly() {
+        let full: Vec<String> = GridSpec::default()
+            .points()
+            .iter()
+            .map(|p| p.key())
+            .collect();
+        let mut sharded: Vec<String> = Vec::new();
+        for i in 0..3 {
+            let shard = GridSpec {
+                shard_index: i,
+                shard_count: 3,
+                ..GridSpec::default()
+            };
+            sharded.extend(shard.points().iter().map(|p| p.key()));
+        }
+        assert_eq!(sharded.len(), full.len());
+        let full_set: HashSet<_> = full.into_iter().collect();
+        let sharded_set: HashSet<_> = sharded.into_iter().collect();
+        assert_eq!(full_set, sharded_set);
+    }
+
+    #[test]
+    fn ablation_tags_round_trip() {
+        for a in Ablation::ALL {
+            assert_eq!(Ablation::parse(a.tag()), Some(a));
+        }
+        assert_eq!(Ablation::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn multi_cpu_grids_carry_the_cpu_override() {
+        let grid = GridSpec {
+            cpus: 4,
+            ..GridSpec::default()
+        };
+        assert!(grid.points().iter().all(|p| p.overrides.cpus == Some(4)));
+    }
+}

@@ -88,8 +88,22 @@ pub trait LfkKernel: Send + Sync {
     ///
     /// # Panics
     ///
-    /// Panics if `passes < 1`.
+    /// Panics if `passes < 1`; [`LfkKernel::try_program_with_passes`] is
+    /// the fallible form for untrusted pass counts.
     fn program_with_passes(&self, passes: i64) -> Program;
+
+    /// Fallible form of [`LfkKernel::program_with_passes`] for pass
+    /// counts arriving from untrusted input (the sweep wire protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPasses`] when `passes < 1`.
+    fn try_program_with_passes(&self, passes: i64) -> Result<Program, InvalidPasses> {
+        if passes < 1 {
+            return Err(InvalidPasses { passes });
+        }
+        Ok(self.program_with_passes(passes))
+    }
 
     /// The curated compiled program (prologue, outer repetition, strip
     /// loops, `halt`).
@@ -124,6 +138,21 @@ pub trait LfkKernel: Send + Sync {
         a + m
     }
 }
+
+/// A non-positive outer-loop pass count was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidPasses {
+    /// The offending count.
+    pub passes: i64,
+}
+
+impl fmt::Display for InvalidPasses {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass count {} must be at least 1", self.passes)
+    }
+}
+
+impl Error for InvalidPasses {}
 
 /// A functional mismatch between simulator and reference.
 #[derive(Debug, Clone, PartialEq)]
@@ -175,6 +204,22 @@ pub const IDS: [u32; 10] = [1, 2, 3, 4, 6, 7, 8, 9, 10, 12];
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bad_pass_counts_are_rejected_without_panicking() {
+        let k1 = by_id(1).unwrap();
+        assert_eq!(
+            k1.try_program_with_passes(0),
+            Err(InvalidPasses { passes: 0 })
+        );
+        assert_eq!(
+            k1.try_program_with_passes(-7),
+            Err(InvalidPasses { passes: -7 })
+        );
+        assert!(InvalidPasses { passes: -7 }.to_string().contains("-7"));
+        let ok = k1.try_program_with_passes(2).unwrap();
+        assert_eq!(ok, k1.program_with_passes(2));
+    }
 
     #[test]
     fn registry_is_complete_and_ordered() {

@@ -44,11 +44,14 @@ impl ContentionStream {
     }
 
     /// A thinned stream claiming `num/den` of its bank visits.
-    pub fn with_duty(mut self, num: u32, den: u32) -> Self {
-        assert!(den > 0 && num <= den, "duty must be a fraction <= 1");
-        self.duty_num = num;
-        self.duty_den = den;
-        self
+    ///
+    /// # Panics
+    ///
+    /// Panics on fractions above 1 or a zero denominator; this is the
+    /// compatibility wrapper over [`ContentionStream::try_with_duty`].
+    pub fn with_duty(self, num: u32, den: u32) -> Self {
+        self.try_with_duty(num, den)
+            .expect("duty must be a fraction <= 1")
     }
 
     /// If this stream claims bank `bank` at any point during
@@ -166,8 +169,19 @@ impl ContentionConfig {
     }
 
     /// Adds a custom stream.
-    pub fn with_stream(mut self, stream: ContentionStream) -> Self {
-        assert!(stream.stride % 2 == 1, "contention stride must be odd");
+    ///
+    /// # Panics
+    ///
+    /// Panics on an even stride; this is the compatibility wrapper over
+    /// [`ContentionConfig::try_with_stream`].
+    pub fn with_stream(self, stream: ContentionStream) -> Self {
+        self.try_with_stream(stream)
+            .expect("contention stride must be odd")
+    }
+
+    /// Appends a stream without validating it (validation lives in
+    /// `try_with_stream`).
+    pub(crate) fn push_stream(mut self, stream: ContentionStream) -> Self {
         self.streams.push(stream);
         self
     }

@@ -35,10 +35,12 @@
 mod cache;
 mod contention;
 mod system;
+mod validate;
 
 pub use cache::{CacheConfig, ScalarCache};
 pub use contention::{ContentionConfig, ContentionStream};
 pub use system::{BankState, MemConfig, MemorySystem, WaitBreakdown};
+pub use validate::{MemConfigError, MAX_BANKS, MAX_WORDS};
 
 /// Word-granular bank index for an address under a given interleave.
 ///

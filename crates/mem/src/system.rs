@@ -78,11 +78,11 @@ impl MemConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `banks` is zero.
-    pub fn with_banks(mut self, banks: u32) -> Self {
-        assert!(banks > 0, "memory must have at least one bank");
-        self.banks = banks;
-        self
+    /// Panics if `banks` is zero or oversized; this is the compatibility
+    /// wrapper over [`MemConfig::try_with_banks`].
+    pub fn with_banks(self, banks: u32) -> Self {
+        self.try_with_banks(banks)
+            .expect("memory must have at least one bank")
     }
 
     /// Same configuration with a different data size in words.

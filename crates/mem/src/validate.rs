@@ -1,0 +1,376 @@
+//! Fallible validation of the memory-side configuration.
+//!
+//! The sweep server accepts machine configurations from untrusted input
+//! (newline-delimited JSON over stdin or a socket), so every constraint
+//! that used to be an `assert!` in a constructor needs a typed,
+//! recoverable form: [`MemConfig::validate`] and [`CacheConfig::validate`]
+//! return a [`MemConfigError`] instead of panicking, and the panicking
+//! builders (`with_banks`, `with_stream`, `with_duty`) remain as thin
+//! compatibility wrappers over new `try_` constructors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cache::CacheConfig;
+use crate::contention::{ContentionConfig, ContentionStream};
+use crate::system::MemConfig;
+
+/// Largest accepted bank count. The C-240 has 32; the cap exists so a
+/// hostile sweep point cannot make the simulator allocate per-bank state
+/// without bound.
+pub const MAX_BANKS: u32 = 4096;
+
+/// Largest accepted data-space size in 8-byte words (1 GiB of data).
+/// The C-240 configuration uses 1 Mi words (8 MiB).
+pub const MAX_WORDS: usize = 1 << 27;
+
+/// A constraint violation in [`MemConfig`], [`CacheConfig`], or a
+/// [`ContentionStream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemConfigError {
+    /// `banks == 0`: memory needs at least one bank.
+    ZeroBanks,
+    /// `banks` beyond [`MAX_BANKS`].
+    TooManyBanks {
+        /// The offending count.
+        banks: u32,
+    },
+    /// `bank_busy == 0`: a bank must be busy for at least one cycle.
+    ZeroBankBusy,
+    /// Refresh enabled with `refresh_period == 0`.
+    ZeroRefreshPeriod,
+    /// Refresh enabled with a window at least as long as the period, so
+    /// memory would never grant.
+    RefreshLenExceedsPeriod {
+        /// Window length in cycles.
+        len: u64,
+        /// Period in cycles.
+        period: u64,
+    },
+    /// `words == 0`: no data space.
+    ZeroWords,
+    /// `words` beyond [`MAX_WORDS`].
+    TooManyWords {
+        /// The offending size.
+        words: usize,
+    },
+    /// A contention stream with an even stride (misses half the banks
+    /// and breaks the closed-form claim solver).
+    EvenContentionStride {
+        /// The offending stride.
+        stride: u64,
+    },
+    /// A contention stream with `duty_den == 0`.
+    ZeroDutyDenominator,
+    /// A contention stream claiming more than every visit
+    /// (`duty_num > duty_den`).
+    DutyAboveOne {
+        /// Numerator of the duty fraction.
+        num: u32,
+        /// Denominator of the duty fraction.
+        den: u32,
+    },
+    /// `lines == 0` in the scalar cache.
+    ZeroCacheLines,
+    /// `line_words == 0` in the scalar cache.
+    ZeroCacheLineWords,
+}
+
+impl fmt::Display for MemConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemConfigError::ZeroBanks => write!(f, "memory must have at least one bank"),
+            MemConfigError::TooManyBanks { banks } => {
+                write!(f, "bank count {banks} exceeds the maximum of {MAX_BANKS}")
+            }
+            MemConfigError::ZeroBankBusy => {
+                write!(f, "bank busy time must be at least one cycle")
+            }
+            MemConfigError::ZeroRefreshPeriod => {
+                write!(f, "refresh is enabled but the refresh period is zero")
+            }
+            MemConfigError::RefreshLenExceedsPeriod { len, period } => write!(
+                f,
+                "refresh window of {len} cycles covers the whole {period}-cycle \
+                 period, so memory would never grant"
+            ),
+            MemConfigError::ZeroWords => write!(f, "data space must hold at least one word"),
+            MemConfigError::TooManyWords { words } => {
+                write!(
+                    f,
+                    "data space of {words} words exceeds the maximum of {MAX_WORDS}"
+                )
+            }
+            MemConfigError::EvenContentionStride { stride } => {
+                write!(f, "contention stride {stride} must be odd")
+            }
+            MemConfigError::ZeroDutyDenominator => {
+                write!(f, "contention duty denominator must be positive")
+            }
+            MemConfigError::DutyAboveOne { num, den } => {
+                write!(f, "contention duty {num}/{den} must be a fraction <= 1")
+            }
+            MemConfigError::ZeroCacheLines => {
+                write!(f, "scalar cache must have at least one line")
+            }
+            MemConfigError::ZeroCacheLineWords => {
+                write!(f, "scalar cache lines must hold at least one word")
+            }
+        }
+    }
+}
+
+impl Error for MemConfigError {}
+
+impl ContentionStream {
+    /// Checks the stream invariants the solver relies on (odd stride,
+    /// duty a fraction ≤ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), MemConfigError> {
+        if self.stride.is_multiple_of(2) {
+            return Err(MemConfigError::EvenContentionStride {
+                stride: self.stride,
+            });
+        }
+        if self.duty_den == 0 {
+            return Err(MemConfigError::ZeroDutyDenominator);
+        }
+        if self.duty_num > self.duty_den {
+            return Err(MemConfigError::DutyAboveOne {
+                num: self.duty_num,
+                den: self.duty_den,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fallible form of [`ContentionStream::with_duty`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero denominator or a fraction above 1.
+    pub fn try_with_duty(mut self, num: u32, den: u32) -> Result<Self, MemConfigError> {
+        self.duty_num = num;
+        self.duty_den = den;
+        self.validate()?;
+        Ok(self)
+    }
+}
+
+impl ContentionConfig {
+    /// Checks every configured stream (see [`ContentionStream::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), MemConfigError> {
+        self.streams()
+            .iter()
+            .try_for_each(ContentionStream::validate)
+    }
+
+    /// Fallible form of [`ContentionConfig::with_stream`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects streams the claim solver cannot handle.
+    pub fn try_with_stream(self, stream: ContentionStream) -> Result<Self, MemConfigError> {
+        stream.validate()?;
+        Ok(self.push_stream(stream))
+    }
+}
+
+impl MemConfig {
+    /// Checks every constraint a simulatable memory system needs; the
+    /// sweep server calls this on untrusted configurations before
+    /// constructing a [`crate::MemorySystem`] (whose internal `assert!`s
+    /// remain as backstops for programmatic misuse).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), MemConfigError> {
+        if self.banks == 0 {
+            return Err(MemConfigError::ZeroBanks);
+        }
+        if self.banks > MAX_BANKS {
+            return Err(MemConfigError::TooManyBanks { banks: self.banks });
+        }
+        if self.bank_busy == 0 {
+            return Err(MemConfigError::ZeroBankBusy);
+        }
+        if self.refresh_enabled {
+            if self.refresh_period == 0 {
+                return Err(MemConfigError::ZeroRefreshPeriod);
+            }
+            if self.refresh_len >= self.refresh_period {
+                return Err(MemConfigError::RefreshLenExceedsPeriod {
+                    len: self.refresh_len,
+                    period: self.refresh_period,
+                });
+            }
+        }
+        if self.words == 0 {
+            return Err(MemConfigError::ZeroWords);
+        }
+        if self.words > MAX_WORDS {
+            return Err(MemConfigError::TooManyWords { words: self.words });
+        }
+        self.contention.validate()
+    }
+
+    /// Fallible form of [`MemConfig::with_banks`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero or oversized bank count.
+    pub fn try_with_banks(mut self, banks: u32) -> Result<Self, MemConfigError> {
+        if banks == 0 {
+            return Err(MemConfigError::ZeroBanks);
+        }
+        if banks > MAX_BANKS {
+            return Err(MemConfigError::TooManyBanks { banks });
+        }
+        self.banks = banks;
+        Ok(self)
+    }
+}
+
+impl CacheConfig {
+    /// Checks the scalar-cache constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), MemConfigError> {
+        if self.lines == 0 {
+            return Err(MemConfigError::ZeroCacheLines);
+        }
+        if self.line_words == 0 {
+            return Err(MemConfigError::ZeroCacheLineWords);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c240_defaults_validate() {
+        assert_eq!(MemConfig::c240().validate(), Ok(()));
+        assert_eq!(CacheConfig::c240().validate(), Ok(()));
+        assert_eq!(ContentionConfig::lockstep(3).validate(), Ok(()));
+        assert_eq!(ContentionConfig::mixed(3).validate(), Ok(()));
+    }
+
+    #[test]
+    fn each_constraint_is_caught() {
+        let base = MemConfig::c240();
+        let mut c = base.clone();
+        c.banks = 0;
+        assert_eq!(c.validate(), Err(MemConfigError::ZeroBanks));
+        let mut c = base.clone();
+        c.banks = MAX_BANKS + 1;
+        assert!(matches!(
+            c.validate(),
+            Err(MemConfigError::TooManyBanks { .. })
+        ));
+        let mut c = base.clone();
+        c.bank_busy = 0;
+        assert_eq!(c.validate(), Err(MemConfigError::ZeroBankBusy));
+        let mut c = base.clone();
+        c.refresh_period = 0;
+        assert_eq!(c.validate(), Err(MemConfigError::ZeroRefreshPeriod));
+        let mut c = base.clone();
+        c.refresh_len = c.refresh_period;
+        assert!(matches!(
+            c.validate(),
+            Err(MemConfigError::RefreshLenExceedsPeriod { .. })
+        ));
+        let mut c = base.clone();
+        c.words = 0;
+        assert_eq!(c.validate(), Err(MemConfigError::ZeroWords));
+        let mut c = base.clone();
+        c.words = MAX_WORDS + 1;
+        assert!(matches!(
+            c.validate(),
+            Err(MemConfigError::TooManyWords { .. })
+        ));
+        // A disabled refresh makes the refresh fields unconstrained.
+        let mut c = base.clone();
+        c.refresh_enabled = false;
+        c.refresh_period = 0;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn contention_streams_are_checked() {
+        let even = ContentionStream {
+            stride: 2,
+            phase: 0,
+            duty_num: 1,
+            duty_den: 1,
+        };
+        assert_eq!(
+            even.validate(),
+            Err(MemConfigError::EvenContentionStride { stride: 2 })
+        );
+        assert_eq!(
+            ContentionConfig::idle().try_with_stream(even),
+            Err(MemConfigError::EvenContentionStride { stride: 2 })
+        );
+        assert_eq!(
+            ContentionStream::unit(0).try_with_duty(2, 1),
+            Err(MemConfigError::DutyAboveOne { num: 2, den: 1 })
+        );
+        assert_eq!(
+            ContentionStream::unit(0).try_with_duty(1, 0),
+            Err(MemConfigError::ZeroDutyDenominator)
+        );
+        let cfg = ContentionConfig::idle()
+            .try_with_stream(ContentionStream::unit(3))
+            .unwrap();
+        assert_eq!(cfg.streams().len(), 1);
+    }
+
+    #[test]
+    fn cache_constraints_are_caught() {
+        let mut c = CacheConfig::c240();
+        c.lines = 0;
+        assert_eq!(c.validate(), Err(MemConfigError::ZeroCacheLines));
+        let mut c = CacheConfig::c240();
+        c.line_words = 0;
+        assert_eq!(c.validate(), Err(MemConfigError::ZeroCacheLineWords));
+    }
+
+    #[test]
+    fn try_with_banks_matches_wrapper() {
+        assert!(MemConfig::c240().try_with_banks(16).is_ok());
+        assert_eq!(
+            MemConfig::c240().try_with_banks(0),
+            Err(MemConfigError::ZeroBanks)
+        );
+        assert_eq!(MemConfig::c240().with_banks(16).banks, 16);
+    }
+
+    #[test]
+    fn errors_display_the_offending_value() {
+        assert!(MemConfigError::TooManyBanks { banks: 9999 }
+            .to_string()
+            .contains("9999"));
+        assert!(
+            MemConfigError::RefreshLenExceedsPeriod { len: 8, period: 8 }
+                .to_string()
+                .contains("8-cycle")
+        );
+        assert!(MemConfigError::DutyAboveOne { num: 3, den: 2 }
+            .to_string()
+            .contains("3/2"));
+    }
+}

@@ -1,12 +1,16 @@
-//! A minimal JSON value and writer.
+//! A minimal JSON value, writer, and parser.
 //!
 //! The build environment is offline, so serde is unavailable; reports
 //! are assembled as [`Json`] trees and rendered with [`fmt::Display`].
 //! Only what the telemetry artifacts need is implemented: objects keep
 //! insertion order (schema stability), numbers render like Rust's `{}`
 //! for `f64` (shortest round-trip form), and strings are escaped per
-//! RFC 8259.
+//! RFC 8259. [`Json::parse`] is the matching recursive-descent reader
+//! used by the sweep server's wire protocol and journal; it accepts any
+//! RFC 8259 document (duplicate object keys keep the last value) and
+//! reports errors with a byte offset.
 
+use std::error::Error;
 use std::fmt;
 
 /// A JSON value.
@@ -127,6 +131,280 @@ impl Json {
                 out.push_str(&other.to_string());
             }
         }
+    }
+}
+
+/// A parse failure: what was expected and the byte offset it failed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What the parser was looking for.
+    pub expected: &'static str,
+    /// Byte offset into the input where the failure occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.offset)
+    }
+}
+
+impl Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting bound: the parser recurses per container, so wire input must
+/// not be able to overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, expected: &'static str) -> Result<T, JsonError> {
+        Err(JsonError {
+            expected,
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &'static str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(lit)
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => self.err("a JSON value"),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.err("shallower nesting")
+        } else {
+            Ok(())
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                self.depth -= 1;
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return self.err("',' or ']'");
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        self.pos += 1; // consume '{'
+        let mut obj = Json::obj();
+        self.skip_ws();
+        if self.eat(b'}') {
+            self.depth -= 1;
+            return Ok(obj);
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return self.err("an object key string");
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return self.err("':'");
+            }
+            let value = self.value()?;
+            obj = obj.field(&key, value);
+            self.skip_ws();
+            if self.eat(b'}') {
+                self.depth -= 1;
+                return Ok(obj);
+            }
+            if !self.eat(b',') {
+                return self.err("',' or '}'");
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume '"'
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes up to the next escape/quote.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                Ok(s) => out.push_str(s),
+                Err(_) => return self.err("valid UTF-8"),
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&unit) {
+                                // High surrogate: require \uXXXX low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return self.err("a low surrogate escape");
+                                }
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return self.err("a low surrogate value");
+                                }
+                                let cp = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("a valid code point"),
+                            }
+                            continue; // hex4 already advanced pos
+                        }
+                        _ => return self.err("a string escape"),
+                    }
+                    self.pos += 1;
+                }
+                _ => return self.err("'\"'"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return self.err("four hex digits"),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if !self.eat(b'+') {
+                self.eat(b'-');
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => self.err("a finite number"),
+        }
+    }
+}
+
+impl Json {
+    /// Parses one RFC 8259 document (surrounding whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming what was expected and the byte
+    /// offset of the failure.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("end of input");
+        }
+        Ok(value)
     }
 }
 
@@ -269,5 +547,75 @@ mod tests {
     fn pretty_prints_with_indentation() {
         let j = Json::obj().field("a", vec![Json::Num(1.0)]);
         assert_eq!(j.pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    fn parses_every_value_kind() {
+        let j = Json::parse(
+            r#" {"s":"a\n\"b\\","n":-12.5e2,"t":true,"f":false,"z":null,"a":[1,{"x":2}],"o":{}} "#,
+        )
+        .unwrap();
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("a\n\"b\\"));
+        assert_eq!(j.get("n").and_then(Json::as_f64), Some(-1250.0));
+        assert_eq!(j.get("t"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("f"), Some(&Json::Bool(false)));
+        assert_eq!(j.get("z"), Some(&Json::Null));
+        let arr = j.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[1].get("x").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("o"), Some(&Json::obj()));
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_documents() {
+        let original = Json::obj()
+            .field("name", "k01 \"quoted\"\n")
+            .field("cycles", 1234.5)
+            .field("ok", true)
+            .field(
+                "items",
+                vec![Json::Num(1.0), Json::Null, Json::Str("x".into())],
+            )
+            .field("nested", Json::obj().field("k", 2.0));
+        assert_eq!(Json::parse(&original.to_string()).unwrap(), original);
+        assert_eq!(Json::parse(&original.pretty()).unwrap(), original);
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogate_pairs() {
+        let j = Json::parse(r#""café 😀""#).unwrap();
+        assert_eq!(j.as_str(), Some("café 😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(Json::parse(r#""\udc00""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let e = Json::parse("{\"a\":}").unwrap_err();
+        assert_eq!(e.offset, 5);
+        assert!(e.to_string().contains("byte 5"));
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1,}").is_err());
+        assert!(Json::parse("nulla").is_err(), "trailing garbage");
+        assert!(Json::parse("1 2").is_err(), "two documents");
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("truth").is_err());
+        assert!(Json::parse("-").is_err());
+        assert!(Json::parse("1e999").is_err(), "non-finite overflow");
+    }
+
+    #[test]
+    fn parse_rejects_unbounded_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_value() {
+        let j = Json::parse(r#"{"x":1,"x":2}"#).unwrap();
+        assert_eq!(j.get("x").and_then(Json::as_f64), Some(2.0));
     }
 }

@@ -27,6 +27,9 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod sweep;
+
+pub use sweep::{SweepOutcomes, SWEEP_SUMMARY_SCHEMA};
 
 use std::collections::BTreeMap;
 use std::fmt;

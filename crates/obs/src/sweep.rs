@@ -1,0 +1,134 @@
+//! Per-point outcome accounting for supervised sweeps.
+//!
+//! The sweep server classifies every input point into exactly one
+//! terminal outcome (ok, resumed from a journal, rejected by validation,
+//! timed out, panicked, or duplicate-of-an-earlier-line) and additionally
+//! counts how many points needed retries. [`SweepOutcomes`] is the
+//! machine-readable tally the server emits as its end-of-stream summary
+//! row (schema `c240-sweep-summary/v1`) — the at-a-glance answer to "did
+//! this grid degrade gracefully or silently lose points".
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// Schema identifier of the summary row built by
+/// [`SweepOutcomes::to_json`].
+pub const SWEEP_SUMMARY_SCHEMA: &str = "c240-sweep-summary/v1";
+
+/// Tally of terminal point outcomes in one sweep run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepOutcomes {
+    /// Points that computed successfully (on any attempt).
+    pub ok: u64,
+    /// Points answered verbatim from the resume journal.
+    pub resumed: u64,
+    /// Lines rejected before evaluation: malformed JSON, protocol
+    /// violations, unknown kernels, or configurations that failed
+    /// validation.
+    pub invalid: u64,
+    /// Points whose every attempt exceeded its deadline.
+    pub timed_out: u64,
+    /// Points whose every attempt panicked.
+    pub panicked: u64,
+    /// Input lines skipped because an earlier line in the same run had
+    /// the same point key.
+    pub duplicate: u64,
+    /// Points that needed more than one attempt, whatever the final
+    /// outcome (a subset indicator, not a terminal class).
+    pub retried: u64,
+}
+
+impl SweepOutcomes {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        SweepOutcomes::default()
+    }
+
+    /// Total input lines that reached a terminal outcome.
+    pub fn points(&self) -> u64 {
+        self.ok + self.resumed + self.invalid + self.timed_out + self.panicked + self.duplicate
+    }
+
+    /// Points blacklisted after exhausting their retry budget (the
+    /// poison-point count: timeouts plus panics).
+    pub fn poisoned(&self) -> u64 {
+        self.timed_out + self.panicked
+    }
+
+    /// The summary row (schema [`SWEEP_SUMMARY_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema", SWEEP_SUMMARY_SCHEMA)
+            .field("points", self.points())
+            .field("ok", self.ok)
+            .field("resumed", self.resumed)
+            .field("invalid", self.invalid)
+            .field("timed_out", self.timed_out)
+            .field("panicked", self.panicked)
+            .field("poisoned", self.poisoned())
+            .field("duplicate", self.duplicate)
+            .field("retried", self.retried)
+    }
+}
+
+impl fmt::Display for SweepOutcomes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} points: {} ok, {} resumed, {} invalid, {} timed out, {} panicked, \
+             {} duplicate ({} retried)",
+            self.points(),
+            self.ok,
+            self.resumed,
+            self.invalid,
+            self.timed_out,
+            self.panicked,
+            self.duplicate,
+            self.retried
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_partition_the_points() {
+        let o = SweepOutcomes {
+            ok: 5,
+            resumed: 2,
+            invalid: 3,
+            timed_out: 1,
+            panicked: 1,
+            duplicate: 1,
+            retried: 2,
+        };
+        assert_eq!(o.points(), 13);
+        assert_eq!(o.poisoned(), 2);
+        let j = o.to_json();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some(SWEEP_SUMMARY_SCHEMA)
+        );
+        assert_eq!(j.get("points").and_then(Json::as_f64), Some(13.0));
+        assert_eq!(j.get("poisoned").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("retried").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn display_mentions_every_class() {
+        let text = SweepOutcomes::new().to_string();
+        for word in [
+            "ok",
+            "resumed",
+            "invalid",
+            "timed out",
+            "panicked",
+            "duplicate",
+        ] {
+            assert!(text.contains(word), "missing {word} in {text}");
+        }
+    }
+}

@@ -115,11 +115,11 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
-    pub fn with_cpus(mut self, n: u32) -> Self {
-        assert!(n > 0, "a machine needs at least one CPU");
-        self.cpus = n;
-        self
+    /// Panics if `n` is zero or oversized; this is the compatibility
+    /// wrapper over [`SimConfig::try_with_cpus`].
+    pub fn with_cpus(self, n: u32) -> Self {
+        self.try_with_cpus(n)
+            .expect("a machine needs at least one CPU")
     }
 
     /// Same machine with steady-state fast-forward disabled (every

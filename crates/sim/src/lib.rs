@@ -55,6 +55,7 @@ mod fastfwd;
 mod machine;
 mod stats;
 mod trace;
+mod validate;
 
 pub use config::{ScalarTiming, SimConfig};
 pub use cpu::Cpu;
@@ -62,6 +63,7 @@ pub use error::SimError;
 pub use machine::Machine;
 pub use stats::{ClassCounts, RunStats};
 pub use trace::{Trace, TraceEvent};
+pub use validate::{ConfigError, MAX_CPUS};
 
 // Telemetry: drive [`Cpu::run_probed`] with a probe to get a per-lane
 // cycle attribution (see the `c240-obs` crate for the taxonomy).

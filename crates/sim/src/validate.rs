@@ -1,0 +1,266 @@
+//! Fallible validation of a full [`SimConfig`].
+//!
+//! The sweep server builds configurations from untrusted wire input, so
+//! every invariant the simulator used to protect with an `assert!` or a
+//! debug assertion has a typed, recoverable form here: a [`ConfigError`]
+//! names the violated constraint instead of tearing down the process.
+//! Programmatic construction keeps the panicking builders
+//! ([`SimConfig::with_cpus`] and friends) as compatibility wrappers over
+//! the new `try_` constructors.
+
+use std::error::Error;
+use std::fmt;
+
+use c240_isa::timing::TimingClass;
+use c240_mem::MemConfigError;
+
+use crate::config::SimConfig;
+
+/// Largest accepted CPU count for a co-sim [`crate::Machine`]. The real
+/// C-240 has four; the cap bounds the per-CPU data-space allocation a
+/// hostile sweep point could request.
+pub const MAX_CPUS: u32 = 16;
+
+/// A constraint violation in a [`SimConfig`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `cpus == 0`: a machine needs at least one CPU.
+    ZeroCpus,
+    /// `cpus` beyond [`MAX_CPUS`].
+    TooManyCpus {
+        /// The offending count.
+        cpus: u32,
+    },
+    /// `max_instructions == 0`: the runaway-loop guard would reject
+    /// every program immediately.
+    ZeroMaxInstructions,
+    /// A scalar-timing field that is NaN, infinite, or negative.
+    BadScalarTiming {
+        /// Name of the offending [`crate::ScalarTiming`] field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A vector-timing parameter (X/Y/Z/B) that is NaN, infinite, or
+    /// negative.
+    BadVectorTiming {
+        /// The timing class the parameter belongs to.
+        class: TimingClass,
+        /// Which of X/Y/Z/B is bad.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A memory-side constraint (banks, refresh, data space, contention
+    /// streams, scalar cache).
+    Mem(MemConfigError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCpus => write!(f, "a machine needs at least one CPU"),
+            ConfigError::TooManyCpus { cpus } => {
+                write!(f, "CPU count {cpus} exceeds the maximum of {MAX_CPUS}")
+            }
+            ConfigError::ZeroMaxInstructions => {
+                write!(f, "the instruction limit must be positive")
+            }
+            ConfigError::BadScalarTiming { field, value } => {
+                write!(
+                    f,
+                    "scalar timing field `{field}` is {value}; it must be finite and >= 0"
+                )
+            }
+            ConfigError::BadVectorTiming {
+                class,
+                field,
+                value,
+            } => write!(
+                f,
+                "vector timing parameter {field} of class {class:?} is {value}; \
+                 it must be finite and >= 0"
+            ),
+            ConfigError::Mem(e) => write!(f, "memory configuration: {e}"),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemConfigError> for ConfigError {
+    fn from(e: MemConfigError) -> Self {
+        ConfigError::Mem(e)
+    }
+}
+
+impl SimConfig {
+    /// Checks every constraint a simulatable configuration needs. The
+    /// sweep server calls this on every wire-supplied point before a
+    /// [`crate::Cpu`] or [`crate::Machine`] is built; the constructors'
+    /// internal `assert!`s remain as backstops for programmatic misuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cpus == 0 {
+            return Err(ConfigError::ZeroCpus);
+        }
+        if self.cpus > MAX_CPUS {
+            return Err(ConfigError::TooManyCpus { cpus: self.cpus });
+        }
+        if self.max_instructions == 0 {
+            return Err(ConfigError::ZeroMaxInstructions);
+        }
+        let scalar = [
+            ("issue", self.scalar.issue),
+            ("branch_taken_penalty", self.scalar.branch_taken_penalty),
+            ("int_latency", self.scalar.int_latency),
+            ("fp_add_latency", self.scalar.fp_add_latency),
+            ("fp_mul_latency", self.scalar.fp_mul_latency),
+            ("fp_div_latency", self.scalar.fp_div_latency),
+        ];
+        for (field, value) in scalar {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::BadScalarTiming { field, value });
+            }
+        }
+        for class in TimingClass::all() {
+            let t = self.timing.get(class);
+            for (field, value) in [("X", t.x), ("Y", t.y), ("Z", t.z), ("B", t.b)] {
+                if !value.is_finite() || value < 0.0 {
+                    return Err(ConfigError::BadVectorTiming {
+                        class,
+                        field,
+                        value,
+                    });
+                }
+            }
+        }
+        self.mem.validate()?;
+        self.cache.validate()?;
+        Ok(())
+    }
+
+    /// Fallible form of [`SimConfig::with_cpus`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero or oversized CPU count.
+    pub fn try_with_cpus(mut self, n: u32) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::ZeroCpus);
+        }
+        if n > MAX_CPUS {
+            return Err(ConfigError::TooManyCpus { cpus: n });
+        }
+        self.cpus = n;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c240_isa::timing::VectorTiming;
+
+    #[test]
+    fn c240_default_validates() {
+        assert_eq!(SimConfig::c240().validate(), Ok(()));
+        assert_eq!(
+            SimConfig::c240().with_cpus(4).validate(),
+            Ok(()),
+            "the real machine's four CPUs are valid"
+        );
+    }
+
+    #[test]
+    fn cpu_and_instruction_limits_are_checked() {
+        let mut c = SimConfig::c240();
+        c.cpus = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCpus));
+        c.cpus = MAX_CPUS + 1;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TooManyCpus { cpus: MAX_CPUS + 1 })
+        );
+        let mut c = SimConfig::c240();
+        c.max_instructions = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxInstructions));
+    }
+
+    #[test]
+    fn timing_fields_must_be_finite_and_nonnegative() {
+        let mut c = SimConfig::c240();
+        c.scalar.fp_div_latency = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadScalarTiming {
+                field: "fp_div_latency",
+                ..
+            })
+        ));
+        let mut c = SimConfig::c240();
+        let mut t = c.timing.get(TimingClass::Mul);
+        t.z = -1.0;
+        c.timing.set(TimingClass::Mul, t);
+        let err = c.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::BadVectorTiming {
+                class: TimingClass::Mul,
+                field: "Z",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("Mul"));
+        let mut c = SimConfig::c240();
+        c.timing.set(
+            TimingClass::Load,
+            VectorTiming {
+                x: f64::INFINITY,
+                y: 0.0,
+                z: 1.0,
+                b: 0.0,
+            },
+        );
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadVectorTiming { field: "X", .. })
+        ));
+    }
+
+    #[test]
+    fn memory_errors_are_wrapped_with_source() {
+        let mut c = SimConfig::c240();
+        c.mem.banks = 0;
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::Mem(MemConfigError::ZeroBanks));
+        assert!(Error::source(&err).is_some());
+        let mut c = SimConfig::c240();
+        c.cache.lines = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Mem(MemConfigError::ZeroCacheLines))
+        );
+    }
+
+    #[test]
+    fn try_with_cpus_matches_wrapper() {
+        assert_eq!(SimConfig::c240().try_with_cpus(2).unwrap().cpus, 2);
+        assert_eq!(
+            SimConfig::c240().try_with_cpus(0),
+            Err(ConfigError::ZeroCpus)
+        );
+        assert_eq!(SimConfig::c240().with_cpus(2).cpus, 2);
+    }
+}
