@@ -5,6 +5,8 @@
 //! macs-bench --serve [--journal FILE] [--resume FILE] [--workers N]
 //!            [--deadline-ms N] [--max-attempts N] [--backoff-ms N]
 //!            [--backoff-cap-ms N] [--listen ADDR | --unix PATH]
+//!            [--metrics] [--trace-out FILE] [--spans-out FILE]
+//!            [--snapshot-every N]
 //! ```
 //!
 //! `--serve` turns the binary into the fault-tolerant sweep server
@@ -14,6 +16,14 @@
 //! completed point; `--resume` re-emits already-computed rows verbatim
 //! and evaluates only the rest, so a killed sweep loses at most its
 //! in-flight points.
+//!
+//! `--metrics` enables the observability plane: spans, a metrics
+//! registry served as Prometheus text on `GET /metrics` over the
+//! `--listen`/`--unix` socket (and snapshotted into the journal every
+//! `--snapshot-every` rows), and per-row `trace` provenance.
+//! `--trace-out` additionally writes a Chrome `trace_event` JSON file
+//! per stream (open it in Perfetto or `chrome://tracing`); `--spans-out`
+//! writes the same spans as NDJSON. Either implies `--metrics`.
 //!
 //! Runs every LFK kernel once under the counting probe (in parallel on
 //! the [`macs_core::pool`]), times the LFK1 simulation with and without
@@ -48,7 +58,19 @@ use c240_obs::json::Json;
 use c240_obs::{CounterProbe, StallCause};
 use c240_sim::{Cpu, Machine, SimConfig};
 use macs_bench::timing::Bench;
-use macs_bench::{serve, ServeOptions};
+use macs_bench::{serve, ServeObs, ServeOptions};
+
+/// Observability overhead budgets, checked by the harness and
+/// documented in DESIGN.md §14. `MACS_BENCH_OVERHEAD_CHECK=0` downgrades
+/// a blown budget from a failure to a warning (for very noisy hosts).
+///
+/// The counting probe may cost at most this fraction over `NoProbe` on
+/// the LFK1 simulation (the monomorphized plumbing is near-zero; a real
+/// regression shows up as 2-10x, far beyond scheduler noise).
+const PROBE_OVERHEAD_BUDGET: f64 = 0.50;
+/// A span open + one arg + end may cost at most this many nanoseconds
+/// (median), including its amortized share of a periodic drain.
+const SPAN_HOOK_BUDGET_NS: f64 = 2_000.0;
 
 /// Today's civil date (UTC) as `(year, month, day)`, computed from the
 /// Unix time directly — the environment has no date/time crates.
@@ -165,6 +187,10 @@ fn parse_serve_args(
     let mut opts = ServeOptions::default();
     let mut listen: Option<String> = None;
     let mut unix: Option<PathBuf> = None;
+    let mut metrics = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut spans_out: Option<PathBuf> = None;
+    let mut snapshot_every: usize = 8;
     let mut it = args.iter();
     fn value<'a>(
         it: &mut impl Iterator<Item = &'a String>,
@@ -196,11 +222,23 @@ fn parse_serve_args(
             }
             "--listen" => listen = Some(value(&mut it, flag)?.clone()),
             "--unix" => unix = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--metrics" => metrics = true,
+            "--trace-out" => trace_out = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--spans-out" => spans_out = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--snapshot-every" => snapshot_every = number(value(&mut it, flag)?, flag)?,
             other => return Err(format!("unknown --serve flag {other:?}")),
         }
     }
     if listen.is_some() && unix.is_some() {
         return Err("--listen and --unix are mutually exclusive".into());
+    }
+    if metrics || trace_out.is_some() || spans_out.is_some() {
+        opts.obs = Some(ServeObs {
+            snapshot_every,
+            trace_out,
+            spans_out,
+            ..ServeObs::default()
+        });
     }
     Ok((opts, listen, unix))
 }
@@ -290,6 +328,51 @@ fn main() -> ExitCode {
         .clone();
     let relative = probed.median_ns / base.median_ns - 1.0;
     eprintln!("probe overhead: {:+.1}%", 100.0 * relative);
+
+    // Span hooks: open + one arg + end, with the amortized share of a
+    // periodic drain (a full buffer would flip spans to the cheaper
+    // drop-counting path and hide the real record cost).
+    let tracer = c240_obs::Tracer::new();
+    let mut span_count: u64 = 0;
+    let span_hook = bench
+        .bench("span_open_arg_end", || {
+            let mut s = tracer.span("bench");
+            s.arg("i", 1u64);
+            let ns = s.end();
+            span_count += 1;
+            if span_count.is_multiple_of(4096) {
+                std::hint::black_box(tracer.drain().len());
+            }
+            ns
+        })
+        .clone();
+    drop(tracer);
+
+    // The observability regression guard: both hooks must stay within
+    // their documented budgets, or the harness exits nonzero (CI fails).
+    let overhead_enforced = std::env::var("MACS_BENCH_OVERHEAD_CHECK").as_deref() != Ok("0");
+    let mut overhead_ok = true;
+    if relative > PROBE_OVERHEAD_BUDGET {
+        eprintln!(
+            "probe overhead {:+.1}% exceeds the {:.0}% budget",
+            100.0 * relative,
+            100.0 * PROBE_OVERHEAD_BUDGET
+        );
+        overhead_ok = false;
+    }
+    if span_hook.median_ns > SPAN_HOOK_BUDGET_NS {
+        eprintln!(
+            "span hook {:.0} ns/span exceeds the {SPAN_HOOK_BUDGET_NS:.0} ns budget",
+            span_hook.median_ns
+        );
+        overhead_ok = false;
+    }
+    if !overhead_ok && overhead_enforced {
+        eprintln!(
+            "observability overhead budget blown (set MACS_BENCH_OVERHEAD_CHECK=0 to warn only)"
+        );
+        return ExitCode::FAILURE;
+    }
 
     // Paper-scale fast-forward vs exact element stepping. Wall times are
     // summed per kernel (a serial-equivalent measure independent of the
@@ -387,7 +470,11 @@ fn main() -> ExitCode {
                 .field("kernel", "LFK1")
                 .field("noprobe_median_ns", base.median_ns)
                 .field("counterprobe_median_ns", probed.median_ns)
-                .field("relative", relative),
+                .field("relative", relative)
+                .field("relative_budget", PROBE_OVERHEAD_BUDGET)
+                .field("span_hook_median_ns", span_hook.median_ns)
+                .field("span_hook_budget_ns", SPAN_HOOK_BUDGET_NS)
+                .field("within_budget", overhead_ok),
         )
         .field(
             "fast_forward",

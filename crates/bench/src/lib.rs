@@ -24,7 +24,9 @@ pub mod serve;
 pub mod timing;
 
 pub use macs_core::{parallel_map, pool::THREADS_ENV, threads};
-pub use serve::{eval_point, serve, Evaluated, PointClass, ServeOptions};
+pub use serve::{
+    eval_point, eval_point_observed, serve, Evaluated, PointClass, ServeObs, ServeOptions,
+};
 
 use std::error::Error;
 use std::fmt;

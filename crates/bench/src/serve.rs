@@ -22,21 +22,83 @@
 //! re-emits completed rows verbatim and computes only the rest. Healthy
 //! rows carry only simulated quantities (no wall-clock), which is what
 //! makes fresh and resumed runs bit-identical.
+//!
+//! Observability is opt-in via [`ServeObs`]: hierarchical wall-clock
+//! spans (sweep → parse/point → validate/schedule/simulate → attempt),
+//! a metrics registry scraped as Prometheus text on `GET /metrics` over
+//! the same TCP/Unix listener and snapshotted into the journal as
+//! [`c240_obs::METRICS_SCHEMA`] rows, and a per-row `trace` provenance
+//! object. All wall-clock lives in the `trace` object and the span
+//! buffers — the simulated quantities on a row are untouched, so the
+//! resume bit-identity above is preserved row-for-row (a resumed row
+//! re-emits the journaled `trace` verbatim).
 
 use std::collections::{BTreeMap, HashSet};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use c240_obs::json::Json;
-use c240_obs::SweepOutcomes;
-use c240_sim::{Cpu, Machine, SimConfig};
-use macs_core::supervise::{supervise, FailureKind, RetryPolicy};
+use c240_obs::span::{spans_to_chrome, spans_to_ndjson};
+use c240_obs::{Metrics, Span, StallCause, SweepOutcomes, Tracer};
+use c240_sim::{Cpu, FfStats, Machine, SimConfig};
+use macs_core::supervise::{
+    supervise, supervise_observed, FailureKind, RetryPolicy, SuperviseEvent,
+};
 use macs_core::sweep::{parse_point, Fault, Journal, ProtocolError, SweepPoint, SWEEP_ROW_SCHEMA};
 use macs_core::{measure_probed, Measurement};
+
+/// Ticks per simulated cycle: stall-cycle metrics are exported as
+/// integer *ticks* (1/20 cycle) because the simulator quantizes all
+/// timing to this grid, so the conversion is exact.
+const TICKS_PER_CYCLE: f64 = 20.0;
+
+fn ticks(cycles: f64) -> u64 {
+    (cycles * TICKS_PER_CYCLE).round().max(0.0) as u64
+}
+
+/// The observability plane threaded through a sweep: a span tracer, a
+/// metrics registry, and export knobs. Cloning shares the underlying
+/// buffers/registry, so the caller keeps a handle to scrape or drain.
+#[derive(Debug, Clone, Default)]
+pub struct ServeObs {
+    /// Records the sweep → point → attempt span hierarchy.
+    pub tracer: Tracer,
+    /// Counters, gauges, and latency histograms; rendered on
+    /// `GET /metrics` and by [`Metrics::render_prometheus`].
+    pub metrics: Metrics,
+    /// Journal a [`c240_obs::METRICS_SCHEMA`] snapshot every this many
+    /// journaled rows (0 = only one snapshot, at end of stream).
+    pub snapshot_every: usize,
+    /// Write a Chrome `trace_event` JSON file (loads in Perfetto /
+    /// `chrome://tracing`) here at end of stream. Each stream overwrites
+    /// the file with its own spans.
+    pub trace_out: Option<PathBuf>,
+    /// Write the same spans as NDJSON ([`c240_obs::SPAN_SCHEMA`]) here
+    /// at end of stream.
+    pub spans_out: Option<PathBuf>,
+}
+
+impl ServeObs {
+    /// Drains the tracer and writes the configured trace exports.
+    fn export(&self) -> io::Result<()> {
+        if self.trace_out.is_none() && self.spans_out.is_none() {
+            return Ok(());
+        }
+        let records = self.tracer.drain();
+        if let Some(path) = &self.spans_out {
+            std::fs::write(path, spans_to_ndjson(&records))?;
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, spans_to_chrome(&records).to_string())?;
+        }
+        Ok(())
+    }
+}
 
 /// How the server evaluates and checkpoints a sweep.
 #[derive(Debug, Clone)]
@@ -55,6 +117,10 @@ pub struct ServeOptions {
     /// Skip points already completed in this journal, re-emitting their
     /// rows verbatim.
     pub resume: Option<PathBuf>,
+    /// Observability plane (spans + metrics + per-row `trace`
+    /// provenance). `None` (the default) compiles down to the pre-obs
+    /// hot path: no spans, no metrics, rows without a `trace` field.
+    pub obs: Option<ServeObs>,
 }
 
 impl Default for ServeOptions {
@@ -68,6 +134,7 @@ impl Default for ServeOptions {
             retry: RetryPolicy::default(),
             journal: None,
             resume: None,
+            obs: None,
         }
     }
 }
@@ -152,6 +219,89 @@ fn error_row(
         .field("poisoned", poisoned)
 }
 
+/// Per-run telemetry that rides alongside the measurement: fast-forward
+/// effectiveness and the stall taxonomy, fed into the metrics registry.
+/// Wall-clock-free, like [`Measured`].
+#[derive(Default)]
+struct RunTelemetry {
+    ff: FfStats,
+    stalls: c240_obs::StallCounters,
+    busy_cycles: f64,
+}
+
+/// Per-row wall-clock provenance, attached as the row's `trace` object
+/// when the observability plane is enabled.
+#[derive(Default)]
+struct Provenance {
+    span: u64,
+    validate_ns: Option<u64>,
+    schedule_ns: Option<u64>,
+    simulate_ns: Option<u64>,
+    attempts: u32,
+    ff: Option<FfStats>,
+}
+
+impl Provenance {
+    fn to_json(&self) -> Json {
+        let mut t = Json::obj().field("span", self.span);
+        if let Some(ns) = self.validate_ns {
+            t = t.field("validate_ns", ns);
+        }
+        if let Some(ns) = self.schedule_ns {
+            t = t.field("schedule_ns", ns);
+        }
+        if let Some(ns) = self.simulate_ns {
+            t = t.field("simulate_ns", ns);
+        }
+        t = t.field("attempts", self.attempts);
+        if let Some(ff) = self.ff {
+            t = t.field(
+                "ff",
+                Json::obj()
+                    .field("probes", ff.probes)
+                    .field("warps", ff.warps)
+                    .field("skipped_instructions", ff.skipped_instructions),
+            );
+        }
+        t
+    }
+}
+
+/// Closes out one evaluation: ends the point span with its outcome,
+/// feeds the duration histograms, and stamps the row with its `trace`
+/// provenance. A no-op without `obs`.
+fn finish_eval(
+    span: Option<Span>,
+    obs: Option<(&ServeObs, u64)>,
+    mut evaluated: Evaluated,
+    prov: &Provenance,
+) -> Evaluated {
+    let Some((o, _)) = obs else {
+        return evaluated;
+    };
+    let outcome = match evaluated.class {
+        PointClass::Ok => "ok",
+        PointClass::Invalid => "invalid",
+        PointClass::TimedOut => "timed_out",
+        PointClass::Panicked => "panicked",
+    };
+    if let Some(mut s) = span {
+        s.arg("outcome", outcome);
+        let ns = s.end();
+        o.metrics
+            .histogram("macs_point_duration_ns", &[])
+            .observe(ns);
+    }
+    if let Some(ns) = prov.simulate_ns {
+        o.metrics
+            .histogram("macs_simulate_duration_ns", &[])
+            .observe(ns);
+    }
+    let row = std::mem::replace(&mut evaluated.row, Json::Null);
+    evaluated.row = row.field("trace", prov.to_json());
+    evaluated
+}
+
 /// Evaluates one parsed point against the base machine, under full
 /// supervision. This is the *same* code path the server's workers run —
 /// tests compare server output rows against direct `eval_point` calls to
@@ -162,32 +312,97 @@ pub fn eval_point(
     deadline: Option<Duration>,
     retry: &RetryPolicy,
 ) -> Evaluated {
+    eval_point_observed(point, base, deadline, retry, None)
+}
+
+/// [`eval_point`] with the observability plane attached. When `obs` is
+/// `Some((plane, parent))`, opens a `point` span under `parent` (a span
+/// id, usually the sweep span) with `validate`/`schedule`/`simulate`
+/// phase children and one `attempt` span per supervised attempt, feeds
+/// the retry/watchdog/fast-forward/stall counters of `plane.metrics`,
+/// and stamps the returned row with a `trace` provenance object. With
+/// `None` this is exactly [`eval_point`].
+pub fn eval_point_observed(
+    point: &SweepPoint,
+    base: &SimConfig,
+    deadline: Option<Duration>,
+    retry: &RetryPolicy,
+    obs: Option<(&ServeObs, u64)>,
+) -> Evaluated {
     let key = point.key();
-    let reject = |kind: &str, message: &str| Evaluated {
-        row: error_row(point, &key, kind, message, 0, &[], false),
-        class: PointClass::Invalid,
-        retried: false,
+    let point_span = obs.map(|(o, parent)| {
+        let mut s = o.tracer.span_under("point", parent);
+        s.arg("id", point.id.as_str());
+        s.arg("key", key.as_str());
+        s.arg("kernel", point.kernel);
+        s
+    });
+    let mut prov = Provenance {
+        span: point_span.as_ref().map(Span::id).unwrap_or(0),
+        ..Provenance::default()
     };
-    let Some(kernel) = lfk_suite::by_id(point.kernel) else {
-        return reject(
-            "unknown_kernel",
-            &format!("LFK{} is not part of the case study", point.kernel),
-        );
+    let reject = |span, prov: &Provenance, kind: &str, message: &str| {
+        finish_eval(
+            span,
+            obs,
+            Evaluated {
+                row: error_row(point, &key, kind, message, 0, &[], false),
+                class: PointClass::Invalid,
+                retried: false,
+            },
+            prov,
+        )
+    };
+
+    // Validate: kernel lookup plus configuration validation.
+    let vspan = point_span.as_ref().map(|s| s.child("validate"));
+    let checked = match lfk_suite::by_id(point.kernel) {
+        None => Err(format!("LFK{} is not part of the case study", point.kernel)),
+        Some(k) => Ok(k),
     };
     let cfg = point.config(base);
-    if let Err(e) = cfg.validate() {
-        return reject("invalid_config", &e.to_string());
-    }
-    let passes = point.passes.unwrap_or_else(|| kernel.passes());
-    let program = match kernel.try_program_with_passes(passes) {
-        Ok(p) => p,
-        Err(e) => return reject("invalid_passes", &e.to_string()),
+    let checked = checked.map(|k| cfg.validate().map(|()| k).map_err(|e| e.to_string()));
+    prov.validate_ns = vspan.map(Span::end);
+    let kernel = match checked {
+        Err(message) => return reject(point_span, &prov, "unknown_kernel", &message),
+        Ok(Err(message)) => return reject(point_span, &prov, "invalid_config", &message),
+        Ok(Ok(k)) => k,
     };
+
+    // Schedule: build the kernel's program (instruction scheduling).
+    let sspan = point_span.as_ref().map(|s| s.child("schedule"));
+    let passes = point.passes.unwrap_or_else(|| kernel.passes());
+    let program = kernel.try_program_with_passes(passes);
+    prov.schedule_ns = sspan.map(Span::end);
+    let program = match program {
+        Ok(p) => p,
+        Err(e) => return reject(point_span, &prov, "invalid_passes", &e.to_string()),
+    };
+
     let iterations = kernel.iterations_with_passes(passes);
     let flops = kernel.flops_total();
     let fault = point.inject;
     let cpus = cfg.cpus as usize;
-    let run = move || -> Result<Measured, String> {
+
+    // Simulate: the supervised run, covering every attempt and backoff.
+    // Attempt spans are opened by the run closure on the watchdog's
+    // thread, parented by id under the simulate span; an attempt
+    // abandoned by the watchdog never records a span (its thread dies
+    // with the process), keeping recorded trees well-nested.
+    let sim_span = point_span.as_ref().map(|s| s.child("simulate"));
+    let attempt_ctx = obs.map(|(o, _)| {
+        (
+            o.tracer.clone(),
+            sim_span.as_ref().map(Span::id).unwrap_or(0),
+            Arc::new(AtomicU32::new(0)),
+        )
+    });
+    let run = move || -> Result<(Measured, RunTelemetry), String> {
+        let mut attempt_span = attempt_ctx.as_ref().map(|(tracer, parent, count)| {
+            let mut s = tracer.span_under("attempt", *parent);
+            s.arg("attempt", count.fetch_add(1, Ordering::Relaxed) + 1);
+            s
+        });
         match fault {
             Some(Fault::Panic) => panic!("injected fault"),
             Some(Fault::SleepMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
@@ -198,9 +413,17 @@ pub fn eval_point(
             // kernel setup, probed measurement.
             let mut cpu = Cpu::new(cfg.clone());
             kernel.setup(&mut cpu);
-            let (m, _probe) =
+            let (m, probe) =
                 measure_probed(&mut cpu, &program, iterations, flops).map_err(|e| e.to_string())?;
-            Ok(Measured::of(&m))
+            let telemetry = RunTelemetry {
+                ff: cpu.ff_stats(),
+                stalls: probe.totals(),
+                busy_cycles: probe.busy_total(),
+            };
+            if let Some(s) = attempt_span.as_mut() {
+                s.arg("ff_skipped_instructions", telemetry.ff.skipped_instructions);
+            }
+            Ok((Measured::of(&m), telemetry))
         } else {
             // Lockstep co-simulation: the kernel on every CPU, reporting
             // CPU 0 (all CPUs are symmetric under lockstep).
@@ -217,28 +440,75 @@ pub fn eval_point(
                 iterations,
                 flops_per_iteration: flops,
             };
-            Ok(Measured::of(&m))
+            Ok((Measured::of(&m), RunTelemetry::default()))
         }
     };
-    let s = supervise(run, deadline, retry);
+    let s = match obs {
+        Some((o, _)) => {
+            let metrics = &o.metrics;
+            supervise_observed(run, deadline, retry, &mut |event| match event {
+                SuperviseEvent::AttemptFailed { failure, .. } => {
+                    metrics
+                        .counter("macs_attempt_failures_total", &[("kind", failure.kind())])
+                        .inc();
+                    if matches!(failure, FailureKind::Deadline { .. }) {
+                        metrics.counter("macs_watchdog_fires_total", &[]).inc();
+                    }
+                }
+                SuperviseEvent::Backoff { ms } => {
+                    metrics.counter("macs_backoff_sleeps_total", &[]).inc();
+                    metrics.counter("macs_backoff_ms_total", &[]).add(ms);
+                }
+            })
+        }
+        None => supervise(run, deadline, retry),
+    };
+    prov.simulate_ns = sim_span.map(Span::end);
+    prov.attempts = s.attempts;
     let retried = s.retried();
-    match s.result {
-        Ok(Ok(m)) => Evaluated {
-            row: base_row(point, &key)
-                .field("status", "ok")
-                .field("attempts", s.attempts)
-                .field("cpus", cpus as u64)
-                .field("passes", passes as f64)
-                .field("cycles", m.cycles)
-                .field("instructions", m.instructions)
-                .field("iterations", m.iterations)
-                .field("cpl", m.cpl)
-                .field("cpf", m.cpf)
-                .field("mflops", m.mflops)
-                .field("memory_wait_cpl", m.memory_wait_cpl),
-            class: PointClass::Ok,
-            retried,
-        },
+    let evaluated = match s.result {
+        Ok(Ok((m, telemetry))) => {
+            prov.ff = Some(telemetry.ff);
+            if let Some((o, _)) = obs {
+                let metrics = &o.metrics;
+                metrics
+                    .counter("macs_ff_probes_total", &[])
+                    .add(telemetry.ff.probes);
+                metrics
+                    .counter("macs_ff_warps_total", &[])
+                    .add(telemetry.ff.warps);
+                metrics
+                    .counter("macs_ff_skipped_instructions_total", &[])
+                    .add(telemetry.ff.skipped_instructions);
+                for cause in StallCause::ALL {
+                    let t = ticks(telemetry.stalls.get(cause));
+                    if t > 0 {
+                        metrics
+                            .counter("macs_stall_ticks_total", &[("cause", cause.key())])
+                            .add(t);
+                    }
+                }
+                metrics
+                    .counter("macs_busy_ticks_total", &[])
+                    .add(ticks(telemetry.busy_cycles));
+            }
+            Evaluated {
+                row: base_row(point, &key)
+                    .field("status", "ok")
+                    .field("attempts", s.attempts)
+                    .field("cpus", cpus as u64)
+                    .field("passes", passes as f64)
+                    .field("cycles", m.cycles)
+                    .field("instructions", m.instructions)
+                    .field("iterations", m.iterations)
+                    .field("cpl", m.cpl)
+                    .field("cpf", m.cpf)
+                    .field("mflops", m.mflops)
+                    .field("memory_wait_cpl", m.memory_wait_cpl),
+                class: PointClass::Ok,
+                retried,
+            }
+        }
         Ok(Err(sim_message)) => Evaluated {
             row: error_row(
                 point,
@@ -268,7 +538,8 @@ pub fn eval_point(
             },
             retried,
         },
-    }
+    };
+    finish_eval(point_span, obs, evaluated, &prov)
 }
 
 /// What flows from reader/workers to the single writer.
@@ -307,6 +578,26 @@ impl Emit {
         }
         if self.retried {
             outcomes.retried += 1;
+        }
+    }
+
+    /// Mirrors [`Emit::tally`] into the metrics registry, increment for
+    /// increment, so `macs_points_total{outcome=...}` reconciles exactly
+    /// with the end-of-stream [`SweepOutcomes`] summary.
+    fn tally_metrics(&self, metrics: &Metrics) {
+        let outcome = match self.kind {
+            EmitKind::Point(PointClass::Ok) => "ok",
+            EmitKind::Point(PointClass::Invalid) | EmitKind::Protocol => "invalid",
+            EmitKind::Point(PointClass::TimedOut) => "timed_out",
+            EmitKind::Point(PointClass::Panicked) => "panicked",
+            EmitKind::Resumed => "resumed",
+            EmitKind::Duplicate => "duplicate",
+        };
+        metrics
+            .counter("macs_points_total", &[("outcome", outcome)])
+            .inc();
+        if self.retried {
+            metrics.counter("macs_points_retried_total", &[]).inc();
         }
     }
 }
@@ -364,6 +655,13 @@ pub fn serve(
     } else {
         opts.workers
     };
+    let obs = opts.obs.as_ref();
+    let mut sweep_span = obs.map(|o| {
+        let mut s = o.tracer.span("sweep");
+        s.arg("workers", workers as u64);
+        s
+    });
+    let sweep_id = sweep_span.as_ref().map(Span::id).unwrap_or(0);
     let (job_tx, job_rx) = mpsc::channel::<SweepPoint>();
     let job_rx = Arc::new(Mutex::new(job_rx));
     let (out_tx, out_rx) = mpsc::channel::<Emit>();
@@ -371,6 +669,7 @@ pub fn serve(
     let resumed = &resumed;
     std::thread::scope(|scope| -> io::Result<()> {
         let reader_tx = out_tx.clone();
+        let reader_obs = obs.map(|o| (o.tracer.clone(), o.metrics.gauge("macs_queue_depth", &[])));
         scope.spawn(move || {
             // Send failures below mean the writer already bailed on an
             // output error; keep draining input so the scope can join.
@@ -380,7 +679,12 @@ pub fn serve(
                 if line.trim().is_empty() {
                     continue;
                 }
-                match parse_point(&line) {
+                let parse_span = reader_obs
+                    .as_ref()
+                    .map(|(tracer, _)| tracer.span_under("parse", sweep_id));
+                let parsed = parse_point(&line);
+                drop(parse_span);
+                match parsed {
                     Err(e) => {
                         let _ = reader_tx.send(Emit {
                             key: None,
@@ -406,6 +710,9 @@ pub fn serve(
                                 retried: false,
                             });
                         } else {
+                            if let Some((_, depth)) = reader_obs.as_ref() {
+                                depth.add(1);
+                            }
                             let _ = job_tx.send(point);
                         }
                     }
@@ -418,11 +725,31 @@ pub fn serve(
             let base = opts.base.clone();
             let retry = opts.retry;
             let deadline = opts.deadline;
+            let worker_obs = obs.map(|o| {
+                (
+                    o.clone(),
+                    o.metrics.gauge("macs_queue_depth", &[]),
+                    o.metrics.gauge("macs_workers_busy", &[]),
+                )
+            });
             scope.spawn(move || loop {
                 let job = job_rx.lock().expect("job queue lock").recv();
                 let Ok(point) = job else { break };
+                if let Some((_, depth, busy)) = worker_obs.as_ref() {
+                    depth.add(-1);
+                    busy.add(1);
+                }
                 let point_deadline = point.deadline_ms.map(Duration::from_millis).or(deadline);
-                let evaluated = eval_point(&point, &base, point_deadline, &retry);
+                let evaluated = eval_point_observed(
+                    &point,
+                    &base,
+                    point_deadline,
+                    &retry,
+                    worker_obs.as_ref().map(|(o, _, _)| (o, sweep_id)),
+                );
+                if let Some((_, _, busy)) = worker_obs.as_ref() {
+                    busy.add(-1);
+                }
                 let _ = tx.send(Emit {
                     key: Some(point.key()),
                     row: evaluated.row,
@@ -432,27 +759,122 @@ pub fn serve(
             });
         }
         drop(out_tx);
+        let mut since_snapshot = 0usize;
         for emit in out_rx {
+            let report_span = obs.map(|o| o.tracer.span_under("report", sweep_id));
             writeln!(output, "{}", emit.row)?;
             output.flush()?;
+            emit.tally(&mut outcomes);
+            if let Some(o) = obs {
+                emit.tally_metrics(&o.metrics);
+            }
             if emit.journaled() {
                 if let (Some(journal), Some(key)) = (journal.as_mut(), emit.key.as_deref()) {
                     journal.record(key, &emit.row)?;
+                    if let Some(o) = obs {
+                        since_snapshot += 1;
+                        if o.snapshot_every > 0 && since_snapshot >= o.snapshot_every {
+                            journal.meta(&o.metrics.snapshot_json())?;
+                            since_snapshot = 0;
+                        }
+                        o.metrics
+                            .gauge("macs_journal_bytes", &[])
+                            .set(journal.bytes_written().min(i64::MAX as u64) as i64);
+                    }
                 }
             }
-            emit.tally(&mut outcomes);
+            drop(report_span);
         }
         Ok(())
     })?;
     writeln!(output, "{}", outcomes.to_json())?;
     output.flush()?;
+    if let Some(o) = obs {
+        if let Some(mut s) = sweep_span.take() {
+            s.arg("points", outcomes.points());
+            s.end();
+        }
+        // One final snapshot so the journal's last metrics row reflects
+        // the whole stream, then flush the configured trace exports.
+        if let Some(journal) = journal.as_mut() {
+            journal.meta(&o.metrics.snapshot_json())?;
+            o.metrics
+                .gauge("macs_journal_bytes", &[])
+                .set(journal.bytes_written().min(i64::MAX as u64) as i64);
+        }
+        o.export()?;
+    }
     Ok(outcomes)
 }
 
-/// Binds `addr` and serves TCP connections one at a time, forever (the
-/// process is stopped externally). Each connection is an independent
-/// request stream; with `--journal`/`--resume` pointed at the same file,
-/// later connections resume from earlier ones' checkpoints.
+/// Answers an HTTP request sniffed off a sweep listener. Only
+/// `GET /metrics` is served (the Prometheus text exposition,
+/// `version=0.0.4`); anything else is a 404. The request's remaining
+/// header lines are drained (bounded) so well-behaved HTTP clients see
+/// a clean close.
+fn answer_http(
+    request_line: &str,
+    reader: &mut impl BufRead,
+    mut writer: impl Write,
+    obs: Option<&ServeObs>,
+) -> io::Result<()> {
+    for _ in 0..64 {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = match (path, obs) {
+        ("/metrics", Some(o)) => ("200 OK", o.metrics.render_prometheus()),
+        ("/metrics", None) => (
+            "404 Not Found",
+            "metrics disabled: start the server with --metrics\n".to_string(),
+        ),
+        _ => (
+            "404 Not Found",
+            "only /metrics is served here\n".to_string(),
+        ),
+    };
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// One accepted connection: sniffs the first line to dispatch between a
+/// metrics scrape (`GET ...`) and a sweep request stream. Sweep streams
+/// serialize on `sweeps` so concurrent connections never interleave
+/// journal writes; metrics scrapes bypass the lock, which is what makes
+/// mid-sweep scraping work.
+fn handle_connection<S: Read + Write + Send>(
+    stream: S,
+    reader_half: S,
+    opts: &ServeOptions,
+    sweeps: &Mutex<()>,
+) -> io::Result<Option<SweepOutcomes>> {
+    let mut reader = BufReader::new(reader_half);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(None);
+    }
+    if first.starts_with("GET ") || first.starts_with("HEAD ") {
+        answer_http(&first, &mut reader, stream, opts.obs.as_ref())?;
+        return Ok(None);
+    }
+    let _guard = sweeps.lock().expect("sweep serialization lock");
+    let input = io::Cursor::new(first.into_bytes()).chain(reader);
+    serve(input, stream, opts).map(Some)
+}
+
+/// Binds `addr` and serves TCP connections forever (the process is
+/// stopped externally). Each connection is either a metrics scrape
+/// (`GET /metrics`, answered concurrently) or an independent sweep
+/// request stream; sweep streams are serialized, and with
+/// `--journal`/`--resume` pointed at the same file, later connections
+/// resume from earlier ones' checkpoints.
 ///
 /// # Errors
 ///
@@ -460,19 +882,32 @@ pub fn serve(
 pub fn serve_tcp(addr: &str, opts: &ServeOptions) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     eprintln!("macs-bench: serving on tcp {}", listener.local_addr()?);
+    let opts = Arc::new(opts.clone());
+    let sweeps = Arc::new(Mutex::new(()));
     loop {
         let (stream, peer) = listener.accept()?;
-        let reader = BufReader::new(stream.try_clone()?);
-        match serve(reader, &stream, opts) {
-            Ok(outcomes) => eprintln!("macs-bench: {peer}: {outcomes}"),
-            Err(e) => eprintln!("macs-bench: {peer}: connection failed: {e}"),
-        }
+        let opts = Arc::clone(&opts);
+        let sweeps = Arc::clone(&sweeps);
+        std::thread::spawn(move || {
+            let reader_half = match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("macs-bench: {peer}: clone failed: {e}");
+                    return;
+                }
+            };
+            match handle_connection(stream, reader_half, &opts, &sweeps) {
+                Ok(Some(outcomes)) => eprintln!("macs-bench: {peer}: {outcomes}"),
+                Ok(None) => {}
+                Err(e) => eprintln!("macs-bench: {peer}: connection failed: {e}"),
+            }
+        });
     }
 }
 
-/// Binds a Unix socket at `path` and serves connections one at a time,
-/// forever; see [`serve_tcp`]. A stale socket file at `path` is removed
-/// first.
+/// Binds a Unix socket at `path` and serves connections forever; see
+/// [`serve_tcp`] (including `GET /metrics`). A stale socket file at
+/// `path` is removed first.
 ///
 /// # Errors
 ///
@@ -485,13 +920,26 @@ pub fn serve_unix(path: &std::path::Path, opts: &ServeOptions) -> io::Result<()>
     }
     let listener = UnixListener::bind(path)?;
     eprintln!("macs-bench: serving on unix socket {}", path.display());
+    let opts = Arc::new(opts.clone());
+    let sweeps = Arc::new(Mutex::new(()));
     loop {
         let (stream, _) = listener.accept()?;
-        let reader = BufReader::new(stream.try_clone()?);
-        match serve(reader, &stream, opts) {
-            Ok(outcomes) => eprintln!("macs-bench: {outcomes}"),
-            Err(e) => eprintln!("macs-bench: connection failed: {e}"),
-        }
+        let opts = Arc::clone(&opts);
+        let sweeps = Arc::clone(&sweeps);
+        std::thread::spawn(move || {
+            let reader_half = match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("macs-bench: clone failed: {e}");
+                    return;
+                }
+            };
+            match handle_connection(stream, reader_half, &opts, &sweeps) {
+                Ok(Some(outcomes)) => eprintln!("macs-bench: {outcomes}"),
+                Ok(None) => {}
+                Err(e) => eprintln!("macs-bench: connection failed: {e}"),
+            }
+        });
     }
 }
 

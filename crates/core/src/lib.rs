@@ -88,7 +88,9 @@ pub use pool::{parallel_map, threads};
 pub use report::{hierarchy_figure, TextTable};
 pub use reschedule::reschedule_for_chimes;
 pub use runreport::{RunReport, RUN_REPORT_SCHEMA};
-pub use supervise::{supervise, FailureKind, RetryPolicy, Supervised};
+pub use supervise::{
+    supervise, supervise_observed, FailureKind, RetryPolicy, SuperviseEvent, Supervised,
+};
 pub use sweep::{
     parse_point, Contention, Fault, Journal, Overrides, ProtocolError, SweepPoint, JOURNAL_SCHEMA,
     SWEEP_ROW_SCHEMA,

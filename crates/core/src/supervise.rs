@@ -170,6 +170,28 @@ where
     }
 }
 
+/// A supervision lifecycle event, reported to the observer of
+/// [`supervise_observed`] *as it happens* — not summarized after the
+/// fact — so a live metrics plane can count watchdog fires, retries, and
+/// backoff sleeps while a point is still being retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuperviseEvent<'a> {
+    /// An attempt failed (the watchdog fired, or the closure panicked).
+    /// More attempts may follow if the retry budget allows.
+    AttemptFailed {
+        /// Which attempt failed (1-based).
+        attempt: u32,
+        /// Why it failed.
+        failure: &'a FailureKind,
+    },
+    /// The supervisor is about to sleep `ms` milliseconds of backoff
+    /// before the next attempt.
+    Backoff {
+        /// The backoff about to be slept, in milliseconds.
+        ms: u64,
+    },
+}
+
 /// Runs `f` under supervision: panics caught, the deadline enforced per
 /// attempt, failures retried per `retry`.
 ///
@@ -178,6 +200,23 @@ where
 /// function returns); share state with the caller through the return
 /// value only.
 pub fn supervise<R, F>(f: F, deadline: Option<Duration>, retry: &RetryPolicy) -> Supervised<R>
+where
+    F: Fn() -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    supervise_observed(f, deadline, retry, &mut |_| {})
+}
+
+/// [`supervise`], reporting each [`SuperviseEvent`] to `observe` as it
+/// happens. The observer runs on the supervising thread between
+/// attempts, never inside the supervised closure, so it may freely touch
+/// non-`'static` state (a metrics registry, a span).
+pub fn supervise_observed<R, F>(
+    f: F,
+    deadline: Option<Duration>,
+    retry: &RetryPolicy,
+    observe: &mut dyn FnMut(SuperviseEvent<'_>),
+) -> Supervised<R>
 where
     F: Fn() -> R + Send + Sync + 'static,
     R: Send + 'static,
@@ -197,6 +236,10 @@ where
                 }
             }
             Err(failure) => {
+                observe(SuperviseEvent::AttemptFailed {
+                    attempt: attempts,
+                    failure: &failure,
+                });
                 if attempts >= budget {
                     return Supervised {
                         result: Err(failure),
@@ -205,7 +248,9 @@ where
                     };
                 }
                 let pause = retry.backoff(attempts);
-                backoff_ms.push(pause.as_millis() as u64);
+                let ms = pause.as_millis() as u64;
+                observe(SuperviseEvent::Backoff { ms });
+                backoff_ms.push(ms);
                 std::thread::sleep(pause);
             }
         }
@@ -294,6 +339,61 @@ mod tests {
         let s = supervise(|| 9u32, Some(Duration::from_secs(10)), &fast_retry(1));
         assert_eq!(s.result, Ok(9));
         assert_eq!(s.attempts, 1);
+    }
+
+    #[test]
+    fn observer_sees_failures_and_backoffs_in_order() {
+        static TRIES: AtomicU32 = AtomicU32::new(0);
+        let mut events = Vec::new();
+        let s = supervise_observed(
+            || {
+                if TRIES.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient");
+                }
+                7u32
+            },
+            None,
+            &fast_retry(5),
+            &mut |e| {
+                events.push(match e {
+                    SuperviseEvent::AttemptFailed { attempt, failure } => {
+                        format!("fail#{attempt}:{}", failure.kind())
+                    }
+                    SuperviseEvent::Backoff { ms } => format!("backoff:{ms}"),
+                });
+            },
+        );
+        assert_eq!(s.result, Ok(7));
+        assert_eq!(
+            events,
+            vec!["fail#1:panic", "backoff:1", "fail#2:panic", "backoff:2"]
+        );
+        // The observed backoffs are exactly what the summary records.
+        assert_eq!(s.backoff_ms, vec![1, 2]);
+    }
+
+    #[test]
+    fn observer_sees_watchdog_fires() {
+        let mut timeouts = 0u32;
+        let s = supervise_observed(
+            || {
+                std::thread::sleep(Duration::from_secs(5));
+                1u32
+            },
+            Some(Duration::from_millis(10)),
+            &fast_retry(2),
+            &mut |e| {
+                if let SuperviseEvent::AttemptFailed {
+                    failure: FailureKind::Deadline { .. },
+                    ..
+                } = e
+                {
+                    timeouts += 1;
+                }
+            },
+        );
+        assert!(s.poisoned());
+        assert_eq!(timeouts, 2, "both watchdog fires observed");
     }
 
     #[test]

@@ -455,12 +455,17 @@ impl SweepPoint {
 
 /// The append-only checkpoint journal (schema [`JOURNAL_SCHEMA`]).
 ///
-/// Line 1 is a header object; every further line is
-/// `{"key":"<16 hex>","row":{…}}`. Records are flushed line-by-line, so
-/// a `kill -9` loses at most the rows of in-flight points; a torn final
-/// line (the write the crash interrupted) is tolerated by the loader.
+/// Line 1 is a header object; every further line is either a checkpoint
+/// record `{"key":"<16 hex>","row":{…}}` or a self-describing metadata
+/// row (an object carrying its own `schema` field, e.g. the periodic
+/// `c240-metrics/v1` snapshots) appended with [`Journal::meta`]. Records
+/// are flushed line-by-line, so a `kill -9` loses at most the rows of
+/// in-flight points; a torn final line (the write the crash interrupted)
+/// is tolerated by the loader, which also skips metadata rows — resume
+/// semantics depend only on checkpoint records.
 pub struct Journal {
     writer: LineWriter<File>,
+    bytes: u64,
 }
 
 impl Journal {
@@ -472,13 +477,30 @@ impl Journal {
     /// Propagates filesystem errors.
     pub fn open_append(path: &Path) -> io::Result<Journal> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        let empty = file.metadata()?.len() == 0;
-        let mut writer = LineWriter::new(file);
-        if empty {
-            writeln!(writer, "{}", Json::obj().field("schema", JOURNAL_SCHEMA))?;
-            writer.flush()?;
+        let existing = file.metadata()?.len();
+        let mut journal = Journal {
+            writer: LineWriter::new(file),
+            bytes: existing,
+        };
+        if existing == 0 {
+            journal.write_line(&Json::obj().field("schema", JOURNAL_SCHEMA))?;
         }
-        Ok(Journal { writer })
+        Ok(journal)
+    }
+
+    fn write_line(&mut self, value: &Json) -> io::Result<()> {
+        let line = value.to_string();
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Total bytes this journal file holds (pre-existing content plus
+    /// everything appended through this handle) — the `journal_bytes`
+    /// gauge the metrics plane reports.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
     }
 
     /// Appends one completed point and flushes it to the OS.
@@ -487,12 +509,24 @@ impl Journal {
     ///
     /// Propagates filesystem errors.
     pub fn record(&mut self, key: &str, row: &Json) -> io::Result<()> {
-        writeln!(
-            self.writer,
-            "{}",
-            Json::obj().field("key", key).field("row", row.clone())
-        )?;
-        self.writer.flush()
+        self.write_line(&Json::obj().field("key", key).field("row", row.clone()))
+    }
+
+    /// Appends a self-describing metadata row (it must carry a `schema`
+    /// field so the loader can tell it from a torn checkpoint record).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` if `row` has no `schema` field; propagates
+    /// filesystem errors.
+    pub fn meta(&mut self, row: &Json) -> io::Result<()> {
+        if row.get("schema").and_then(Json::as_str).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a journal metadata row must carry a schema field",
+            ));
+        }
+        self.write_line(row)
     }
 
     /// Loads a journal into a key → row map (later records win, though a
@@ -531,14 +565,19 @@ impl Journal {
             if line.trim().is_empty() {
                 continue;
             }
-            let parsed = Json::parse(&line).ok().and_then(|record| {
-                let key = record.get("key")?.as_str()?.to_string();
-                let row = record.get("row")?.clone();
-                Some((key, row))
-            });
-            match parsed {
-                Some((key, row)) => {
-                    rows.insert(key, row);
+            match Json::parse(&line).ok() {
+                Some(record) => {
+                    let checkpoint = record.get("key").and_then(Json::as_str).and_then(|key| {
+                        record.get("row").map(|row| (key.to_string(), row.clone()))
+                    });
+                    if let Some((key, row)) = checkpoint {
+                        rows.insert(key, row);
+                    } else if record.get("schema").and_then(Json::as_str).is_some() {
+                        // A metadata row (metrics snapshot, …): valid
+                        // journal content, irrelevant to resume.
+                    } else {
+                        pending = Some((line, lineno + 2));
+                    }
                 }
                 None => pending = Some((line, lineno + 2)),
             }
@@ -734,6 +773,61 @@ mod tests {
         assert!(Journal::load(&path).is_err());
         // A foreign header is rejected.
         std::fs::write(&path, "{\"schema\":\"other/v9\"}\n").unwrap();
+        assert!(Journal::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_metadata_rows_are_skipped_on_load_and_tolerate_torn_tails() {
+        let dir = std::env::temp_dir().join(format!(
+            "macs-journal-meta-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.ndjson");
+        let row = Json::obj().field("id", "a").field("cycles", 10.0);
+        let snapshot = Json::obj()
+            .field("schema", "c240-metrics/v1")
+            .field("counters", Json::obj().field("macs_points_total", 1.0));
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            j.record("00000000000000aa", &row).unwrap();
+            j.meta(&snapshot).unwrap();
+            j.record("00000000000000bb", &row).unwrap();
+            j.meta(&snapshot).unwrap();
+            // Byte accounting matches the file exactly.
+            assert_eq!(
+                j.bytes_written(),
+                std::fs::metadata(&path).unwrap().len(),
+                "bytes_written diverged from the file"
+            );
+            // A schema-less metadata row is rejected (the loader could
+            // not tell it from a torn checkpoint record).
+            assert!(j.meta(&Json::obj().field("x", 1.0)).is_err());
+        }
+        // Metadata rows are invisible to resume.
+        let rows = Journal::load(&path).unwrap();
+        assert_eq!(rows.len(), 2);
+        // Re-opening resumes byte accounting from the existing length.
+        {
+            let j = Journal::open_append(&path).unwrap();
+            assert_eq!(j.bytes_written(), std::fs::metadata(&path).unwrap().len());
+        }
+        // A kill -9 can tear a metrics snapshot mid-write exactly like a
+        // checkpoint record; a torn *final* metadata row is tolerated…
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let torn = format!("{contents}{{\"schema\":\"c240-metrics/v1\",\"counters\":{{\"mac");
+        std::fs::write(&path, &torn).unwrap();
+        let rows = Journal::load(&path).unwrap();
+        assert_eq!(rows.len(), 2, "torn metadata tail is dropped, not fatal");
+        // …but a torn metadata row in the middle is corruption.
+        let torn_mid = contents.replacen(
+            "{\"key\":\"00000000000000aa\"",
+            "{\"schema\":\"c240-metrics/v1\",\"coun\n{\"key\":\"00000000000000aa\"",
+            1,
+        );
+        std::fs::write(&path, &torn_mid).unwrap();
         assert!(Journal::load(&path).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -182,12 +182,17 @@ fn write_traces(dir: &PathBuf, suite: &Suite) -> std::io::Result<()> {
             continue;
         }
         let trace = cpu.trace();
+        // The origin stamp places this run (whose event timestamps are
+        // simulated cycles) on the process's shared monotonic timeline,
+        // the same clock the observability spans use — so a trace can be
+        // correlated wall-clock-wise with a concurrent span export.
         let mut text = format!(
-            "LFK{} — {} ({} events, {} dropped past cap)\n\n",
+            "LFK{} — {} ({} events, {} dropped past cap, origin {} ns)\n\n",
             row.id,
             kernel.name(),
             trace.events().len(),
-            trace.dropped()
+            trace.dropped(),
+            trace.origin_ns()
         );
         for event in trace.events().iter().take(64) {
             text.push_str(&event.to_string());

@@ -22,6 +22,14 @@ pub enum Json {
     Bool(bool),
     /// A finite number (non-finite values render as `null`).
     Num(f64),
+    /// An integer above 2⁵³, past `f64`'s contiguous integer range. Kept
+    /// separate so nanosecond timestamps and tick counts survive a round
+    /// trip bit-exact (even a large float that *is* representable prints
+    /// a rounded shortest-form decimal, so the split must be by
+    /// magnitude, not representability). Integers ≤ 2⁵³ are always
+    /// [`Json::Num`], both when built ([`From<u64>`]) and when parsed,
+    /// so equality stays canonical.
+    UInt(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -64,10 +72,26 @@ impl Json {
         }
     }
 
-    /// The numeric value, if this is a number.
+    /// The numeric value, if this is a number ([`Json::UInt`] values are
+    /// rounded to the nearest `f64`).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact unsigned integer value, if this is a number holding
+    /// one: a [`Json::UInt`], or a [`Json::Num`] that is a non-negative
+    /// integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            // `u64::MAX as f64` rounds up to 2^64, which is out of range.
+            Json::Num(n) if *n >= 0.0 && *n < u64::MAX as f64 && n.fract() == 0.0 => {
+                Some(*n as u64)
+            }
             _ => None,
         }
     }
@@ -378,6 +402,14 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        // Integer text above 2^53 becomes `UInt`, matching `From<u64>`,
+        // so the parsed form of a rendered value compares equal to the
+        // original.
+        if let Ok(n) = text.parse::<u64>() {
+            if n > MAX_SAFE_INTEGER {
+                return Ok(Json::UInt(n));
+            }
+        }
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Json::Num(n)),
             _ => self.err("a finite number"),
@@ -420,6 +452,7 @@ impl fmt::Display for Json {
                     f.write_str("null")
                 }
             }
+            Json::UInt(n) => write!(f, "{n}"),
             Json::Str(s) => {
                 f.write_str("\"")?;
                 for c in s.chars() {
@@ -465,9 +498,17 @@ impl From<f64> for Json {
     }
 }
 
+/// 2⁵³ — the largest integer below which every integer is exactly one
+/// `f64` value and `f64` Display prints it in plain exact decimal.
+const MAX_SAFE_INTEGER: u64 = 1 << 53;
+
 impl From<u64> for Json {
     fn from(n: u64) -> Json {
-        Json::Num(n as f64)
+        if n <= MAX_SAFE_INTEGER {
+            Json::Num(n as f64)
+        } else {
+            Json::UInt(n)
+        }
     }
 }
 
@@ -611,6 +652,62 @@ mod tests {
         assert!(Json::parse(&deep).is_err());
         let ok = "[".repeat(100) + &"]".repeat(100);
         assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn large_u64_round_trips_exactly() {
+        // Everything above 2^53 is UInt and renders in exact decimal.
+        for n in [
+            (1u64 << 53) + 1,
+            1u64 << 60,
+            u64::MAX,
+            u64::MAX - 1,
+            123_456_789_012_345_678,
+        ] {
+            let j = Json::from(n);
+            assert_eq!(j, Json::UInt(n), "{n} should be UInt");
+            assert_eq!(j.to_string(), n.to_string());
+            let back = Json::parse(&j.to_string()).unwrap();
+            assert_eq!(back, j, "{n} changed across a round trip");
+            assert_eq!(back.as_u64(), Some(n));
+        }
+        // Integers up to 2^53 stay Num on both paths, so rendered and
+        // parsed forms compare equal.
+        for n in [0u64, 1, 1 << 53] {
+            let j = Json::from(n);
+            assert_eq!(j, Json::Num(n as f64), "{n} is exact in f64");
+            assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+            assert_eq!(j.as_u64(), Some(n));
+        }
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Str("1".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn trace_and_metrics_records_round_trip() {
+        // Mirror the shapes span/metrics rows take on the wire, with
+        // adversarial string content and a lossy-u64 timestamp.
+        let record = Json::obj()
+            .field("schema", "c240-span/v1")
+            .field("name", "point \"slow\"\n\\path")
+            .field("start_ns", (1u64 << 62) + 3)
+            .field("dur_ns", 12_345u64)
+            .field(
+                "args",
+                Json::obj().field("outcome", "ok").field("attempts", 1u64),
+            );
+        let text = record.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, record);
+        assert_eq!(
+            back.get("start_ns").and_then(Json::as_u64),
+            Some((1u64 << 62) + 3)
+        );
+        assert_eq!(
+            back.get("name").and_then(Json::as_str),
+            Some("point \"slow\"\n\\path")
+        );
     }
 
     #[test]

@@ -21,18 +21,38 @@
 //!
 //! The [`json`] module hosts the small writer used for `RunReport` and
 //! `BENCH_<date>.json` artifacts (the build environment is offline, so
-//! no serde).
+//! no serde). The [`span`] and [`metrics`] modules extend the same
+//! attribution discipline from simulated cycles to the wall clock of the
+//! sweep service itself: hierarchical spans partition where a point's
+//! real time went, and the metrics registry keeps service-level counters
+//! that reconcile exactly with [`SweepOutcomes`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod metrics;
+pub mod span;
 pub mod sweep;
 
+pub use metrics::{Metrics, METRICS_SCHEMA};
+pub use span::{Span, SpanRecord, Tracer, SPAN_SCHEMA};
 pub use sweep::{SweepOutcomes, SWEEP_SUMMARY_SCHEMA};
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds since the process's monotonic origin (first call wins;
+/// every span, metrics snapshot, and trace anchor in the process shares
+/// this clock, so wall-clock spans and sim-cycle traces correlate on one
+/// timeline).
+pub fn monotonic_ns() -> u64 {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    Instant::now().duration_since(origin).as_nanos() as u64
+}
 
 /// Grid points per cycle of the machine's timing quantum. Private copy of
 /// `c240_isa::timing::TICKS_PER_CYCLE` — this crate is dependency-free.

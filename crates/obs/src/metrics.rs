@@ -1,0 +1,442 @@
+//! A zero-dependency metrics registry: atomic counters, gauges, and
+//! log-bucketed latency histograms.
+//!
+//! The sweep service needs operational telemetry a scrape can read while
+//! a sweep is running, so every instrument is a plain atomic behind an
+//! `Arc` — incrementing never takes a lock (the registry's mutex guards
+//! only *registration*, a once-per-name event). Rendering follows the
+//! Prometheus text exposition format (`GET /metrics` on the sweep
+//! server's listener), and [`Metrics::snapshot_json`] produces the
+//! [`METRICS_SCHEMA`] rows the server periodically appends to its
+//! checkpoint journal so a crashed run's telemetry is diagnosable post
+//! mortem.
+//!
+//! Naming conventions (documented in DESIGN.md §14): every metric is
+//! prefixed `macs_`, counters end `_total`, durations are nanoseconds
+//! and say so (`_ns`), and label values are the stable snake_case keys
+//! the rest of the repo already uses (`outcome="timed_out"`,
+//! `cause="bank_busy"`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+use crate::monotonic_ns;
+
+/// Schema identifier of journal metrics-snapshot rows.
+pub const METRICS_SCHEMA: &str = "c240-metrics/v1";
+
+/// Histogram bucket upper bounds in nanoseconds: powers of 4 from 1 µs
+/// to ~4.6 h, plus +Inf. Log-bucketed so the whole latency range of a
+/// sweep point (microseconds to poisoned-deadline minutes) is covered in
+/// 17 buckets.
+pub const BUCKET_BOUNDS_NS: [u64; 16] = [
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+    1 << 30,
+    1 << 32,
+    1 << 34,
+    1 << 36,
+    1 << 38,
+    1 << 40,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-bucketed latency histogram (bounds [`BUCKET_BOUNDS_NS`]).
+#[derive(Debug, Default)]
+pub struct HistogramInner {
+    buckets: [AtomicU64; BUCKET_BOUNDS_NS.len() + 1],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A shareable handle to a histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Records one observation of `ns` nanoseconds.
+    pub fn observe(&self, ns: u64) {
+        let i = BUCKET_BOUNDS_NS.partition_point(|&b| ns > b);
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Non-cumulative per-bucket counts (last entry is the overflow
+    /// bucket, `+Inf`).
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// An instrument's identity: name plus rendered label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    /// Rendered `k="v",k2="v2"` (escaped), empty for label-less metrics.
+    labels: String,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Key {
+        let labels = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        Key {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// The exposition/identifier form: `name` or `name{k="v"}`.
+    fn canonical(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}{{{}}}", self.name, self.labels)
+        }
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<Key, Counter>>,
+    gauges: Mutex<BTreeMap<Key, Gauge>>,
+    histograms: Mutex<BTreeMap<Key, Histogram>>,
+}
+
+/// A shareable metrics registry (`Clone` is a cheap handle).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    registry: Arc<Registry>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// The counter `name{labels}`, registered on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.registry
+            .counters
+            .lock()
+            .expect("metrics lock")
+            .entry(Key::new(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge `name{labels}`, registered on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.registry
+            .gauges
+            .lock()
+            .expect("metrics lock")
+            .entry(Key::new(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram `name{labels}`, registered on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.registry
+            .histograms
+            .lock()
+            .expect("metrics lock")
+            .entry(Key::new(name, labels))
+            .or_default()
+            .clone()
+    }
+
+    /// Renders every instrument in the Prometheus text exposition
+    /// format (version 0.0.4): `# TYPE` comments per family, then one
+    /// `name{labels} value` sample per line, families and samples in
+    /// deterministic (sorted) order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        let mut family = |out: &mut String, name: &str, kind: &str| {
+            if last_family != name {
+                last_family = name.to_string();
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+            }
+        };
+        for (key, c) in self.registry.counters.lock().expect("metrics lock").iter() {
+            family(&mut out, &key.name, "counter");
+            out.push_str(&format!("{} {}\n", key.canonical(), c.get()));
+        }
+        for (key, g) in self.registry.gauges.lock().expect("metrics lock").iter() {
+            family(&mut out, &key.name, "gauge");
+            out.push_str(&format!("{} {}\n", key.canonical(), g.get()));
+        }
+        for (key, h) in self
+            .registry
+            .histograms
+            .lock()
+            .expect("metrics lock")
+            .iter()
+        {
+            family(&mut out, &key.name, "histogram");
+            let mut cumulative = 0u64;
+            for (i, count) in h.bucket_counts().iter().enumerate() {
+                cumulative += count;
+                let le = match BUCKET_BOUNDS_NS.get(i) {
+                    Some(b) => format!("le=\"{b}\""),
+                    None => "le=\"+Inf\"".to_string(),
+                };
+                let labels = if key.labels.is_empty() {
+                    le
+                } else {
+                    format!("{},{le}", key.labels)
+                };
+                out.push_str(&format!("{}_bucket{{{labels}}} {cumulative}\n", key.name));
+            }
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                key.name,
+                braces(&key.labels),
+                h.sum_ns()
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                key.name,
+                braces(&key.labels),
+                h.count()
+            ));
+        }
+        out
+    }
+
+    /// A machine-readable snapshot (schema [`METRICS_SCHEMA`]): every
+    /// counter and gauge by canonical name, histograms as
+    /// `{count, sum_ns}`. This is the row the sweep server appends to
+    /// its journal so telemetry survives a kill -9.
+    pub fn snapshot_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (key, c) in self.registry.counters.lock().expect("metrics lock").iter() {
+            counters = counters.field(&key.canonical(), c.get());
+        }
+        let mut gauges = Json::obj();
+        for (key, g) in self.registry.gauges.lock().expect("metrics lock").iter() {
+            gauges = gauges.field(&key.canonical(), Json::Num(g.get() as f64));
+        }
+        let mut histograms = Json::obj();
+        for (key, h) in self
+            .registry
+            .histograms
+            .lock()
+            .expect("metrics lock")
+            .iter()
+        {
+            histograms = histograms.field(
+                &key.canonical(),
+                Json::obj()
+                    .field("count", h.count())
+                    .field("sum_ns", h.sum_ns()),
+            );
+        }
+        Json::obj()
+            .field("schema", METRICS_SCHEMA)
+            .field("monotonic_ns", monotonic_ns())
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+    }
+}
+
+fn braces(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let m = Metrics::new();
+        let ok = m.counter("macs_points_total", &[("outcome", "ok")]);
+        ok.inc();
+        ok.add(2);
+        assert_eq!(ok.get(), 3);
+        // The same name+labels resolves to the same instrument.
+        assert_eq!(
+            m.counter("macs_points_total", &[("outcome", "ok")]).get(),
+            3
+        );
+
+        let depth = m.gauge("macs_queue_depth", &[]);
+        depth.add(5);
+        depth.add(-2);
+        assert_eq!(depth.get(), 3);
+        depth.set(0);
+        assert_eq!(depth.get(), 0);
+
+        let h = m.histogram("macs_point_duration_ns", &[]);
+        h.observe(500);
+        h.observe(2_000_000);
+        h.observe(u64::from(u32::MAX) * 512); // past the last bound
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 500 + 2_000_000 + u64::from(u32::MAX) * 512);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_typed() {
+        let m = Metrics::new();
+        m.counter("macs_points_total", &[("outcome", "ok")]).add(7);
+        m.counter("macs_points_total", &[("outcome", "invalid")])
+            .inc();
+        m.gauge("macs_workers_busy", &[]).set(2);
+        let h = m.histogram("macs_point_duration_ns", &[]);
+        h.observe(1_000);
+        h.observe(5_000);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE macs_points_total counter"));
+        assert!(text.contains("macs_points_total{outcome=\"ok\"} 7"));
+        assert!(text.contains("macs_points_total{outcome=\"invalid\"} 1"));
+        assert!(text.contains("# TYPE macs_workers_busy gauge"));
+        assert!(text.contains("macs_workers_busy 2"));
+        assert!(text.contains("# TYPE macs_point_duration_ns histogram"));
+        // 1_000 ≤ 1024 lands in the first bucket; buckets are cumulative.
+        assert!(text.contains("macs_point_duration_ns_bucket{le=\"1024\"} 1"));
+        assert!(text.contains("macs_point_duration_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("macs_point_duration_ns_sum 6000"));
+        assert!(text.contains("macs_point_duration_ns_count 2"));
+        // Deterministic: same registry renders identically.
+        assert_eq!(text, m.render_prometheus());
+        // One TYPE line per family even with several label sets.
+        assert_eq!(text.matches("# TYPE macs_points_total").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = Metrics::new();
+        m.counter("macs_errors_total", &[("message", "a\"b\\c\nd")])
+            .inc();
+        let text = m.render_prometheus();
+        assert!(text.contains(r#"message="a\"b\\c\nd""#), "{text}");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::new();
+        m.counter("macs_points_total", &[("outcome", "ok")]).add(12);
+        m.gauge("macs_queue_depth", &[]).set(-3);
+        m.histogram("macs_point_duration_ns", &[]).observe(42);
+        let snap = m.snapshot_json();
+        assert_eq!(
+            snap.get("schema").and_then(Json::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        let again = Json::parse(&snap.to_string()).unwrap();
+        assert_eq!(again, snap);
+        assert_eq!(
+            again
+                .get("counters")
+                .and_then(|c| c.get("macs_points_total{outcome=\"ok\"}"))
+                .and_then(Json::as_f64),
+            Some(12.0)
+        );
+        assert_eq!(
+            again
+                .get("gauges")
+                .and_then(|g| g.get("macs_queue_depth"))
+                .and_then(Json::as_f64),
+            Some(-3.0)
+        );
+        assert_eq!(
+            again
+                .get("histograms")
+                .and_then(|h| h.get("macs_point_duration_ns"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn bucket_bounds_are_increasing() {
+        for w in BUCKET_BOUNDS_NS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Hierarchical wall-clock spans for the sweep service.
+//!
+//! The MACS methodology attributes every simulated cycle; this module
+//! does the same for the *service's* wall-clock. A [`Tracer`] hands out
+//! [`Span`] guards — `sweep → point → attempt → phase` — whose lifetimes
+//! measure a monotonic interval each. Finished spans land in a small set
+//! of sharded buffers (one mutex acquisition per span *finish*, never
+//! per event, and threads hash to different shards, so the hot path of
+//! the simulator is untouched and the service path is contention-free in
+//! practice). The collected records export two ways:
+//!
+//! * [`spans_to_ndjson`] — one `c240-span/v1` object per line, the
+//!   journal-friendly form;
+//! * [`spans_to_chrome`] — a Chrome `trace_event` document (`ph:"X"`
+//!   complete events) that loads directly in Perfetto or
+//!   `chrome://tracing`, so a whole sweep's timeline is inspectable.
+//!
+//! Every timestamp is nanoseconds on the process-wide monotonic clock
+//! ([`crate::monotonic_ns`]); the simulator's cycle-domain pipeline
+//! traces are stamped with the same clock's origin, so both kinds of
+//! trace correlate in one timeline.
+//!
+//! Span trees are well-nested by construction: a child guard borrows its
+//! parent's id and is finished (dropped) before the parent, so a child's
+//! interval lies within its parent's and sequential siblings are
+//! disjoint — which is what makes "per-phase durations sum to ≤ point
+//! duration" an invariant rather than a hope (asserted in the bench
+//! crate's integration tests).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+use crate::monotonic_ns;
+
+/// Schema identifier of NDJSON span records.
+pub const SPAN_SCHEMA: &str = "c240-span/v1";
+
+/// Buffer shards; finishing threads hash to a shard by thread id.
+const SHARDS: usize = 8;
+
+/// Default cap on buffered records — a long-running server must not grow
+/// without bound between drains. Past the cap, finishes are counted in
+/// [`Tracer::dropped`] instead of stored (mirroring `c240_sim::Trace`).
+pub const DEFAULT_SPAN_CAP: usize = 1 << 16;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within this tracer (1-based; ids are allocated at span
+    /// *start*, so parents have smaller ids than their children).
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Span name (e.g. `point`, `simulate`).
+    pub name: String,
+    /// Small integer identifying the finishing thread.
+    pub tid: u64,
+    /// Start, nanoseconds on the process monotonic clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Free-form annotations (point id, attempt number, …).
+    pub args: Vec<(String, Json)>,
+}
+
+impl SpanRecord {
+    /// The NDJSON form (schema [`SPAN_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .field("schema", SPAN_SCHEMA)
+            .field("id", self.id)
+            .field("parent", self.parent)
+            .field("name", self.name.as_str())
+            .field("tid", self.tid)
+            .field("start_ns", self.start_ns)
+            .field("dur_ns", self.dur_ns);
+        if !self.args.is_empty() {
+            let mut args = Json::obj();
+            for (k, v) in &self.args {
+                args = args.field(k, v.clone());
+            }
+            j = j.field("args", args);
+        }
+        j
+    }
+
+    /// End of the interval, nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+    cap: usize,
+    shards: [Mutex<Vec<SpanRecord>>; SHARDS],
+}
+
+/// A shareable span collector (`Clone` is a cheap handle).
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+/// A small per-thread integer for trace rows (Chrome tracks need one).
+fn thread_tid() -> u64 {
+    use std::cell::Cell;
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+impl Tracer {
+    /// A fresh tracer with the default record cap.
+    pub fn new() -> Self {
+        Tracer::with_cap(DEFAULT_SPAN_CAP)
+    }
+
+    /// A fresh tracer keeping at most `cap` buffered records between
+    /// drains; further finishes are counted as dropped.
+    pub fn with_cap(cap: usize) -> Self {
+        Tracer {
+            inner: Arc::new(Inner {
+                next_id: AtomicU64::new(1),
+                dropped: AtomicU64::new(0),
+                cap,
+                shards: Default::default(),
+            }),
+        }
+    }
+
+    /// Opens a root span.
+    pub fn span(&self, name: impl Into<String>) -> Span {
+        self.open(name.into(), 0)
+    }
+
+    /// Opens a span under the span with id `parent` (0 for a root).
+    ///
+    /// This is the cross-thread form of [`Span::child`]: a worker thread
+    /// holds only its parent's *id* (a `Span` guard lives on the thread
+    /// that opened it), so it parents its spans by id. The caller is
+    /// responsible for finishing the child before the parent ends if the
+    /// tree is to stay well-nested.
+    pub fn span_under(&self, name: impl Into<String>, parent: u64) -> Span {
+        self.open(name.into(), parent)
+    }
+
+    fn open(&self, name: String, parent: u64) -> Span {
+        Span {
+            tracer: self.clone(),
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name,
+            start_ns: monotonic_ns(),
+            args: Vec::new(),
+            recorded: false,
+        }
+    }
+
+    fn record(&self, rec: SpanRecord) {
+        let shard = (rec.tid as usize) % SHARDS;
+        let mut buf = self.inner.shards[shard].lock().expect("span shard lock");
+        let buffered: usize = buf.len();
+        // The cap is per shard (cap / SHARDS each) so no shard can starve
+        // the others; the sum is bounded by `cap`.
+        if buffered < self.inner.cap.div_ceil(SHARDS) {
+            buf.push(rec);
+        } else {
+            drop(buf);
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes and returns every buffered record, sorted by start time
+    /// (ties by id, so parents precede children).
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut all = Vec::new();
+        for shard in &self.inner.shards {
+            all.append(&mut shard.lock().expect("span shard lock"));
+        }
+        all.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(a.id.cmp(&b.id)));
+        all
+    }
+
+    /// Spans finished past the cap and not stored.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// A live span: measures from creation to [`Span::end`] (or drop).
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    parent: u64,
+    name: String,
+    start_ns: u64,
+    args: Vec<(String, Json)>,
+    recorded: bool,
+}
+
+impl Span {
+    /// This span's id (for cross-referencing, e.g. row provenance).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Opens a child span; finish (drop) it before `self` so the tree
+    /// stays well-nested.
+    pub fn child(&self, name: impl Into<String>) -> Span {
+        self.tracer.open(name.into(), self.id)
+    }
+
+    /// Attaches an annotation.
+    pub fn arg(&mut self, key: &str, value: impl Into<Json>) {
+        self.args.push((key.to_string(), value.into()));
+    }
+
+    /// Finishes the span now and returns its duration in nanoseconds.
+    pub fn end(mut self) -> u64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> u64 {
+        if self.recorded {
+            return 0;
+        }
+        self.recorded = true;
+        let dur_ns = monotonic_ns().saturating_sub(self.start_ns);
+        self.tracer.record(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            tid: thread_tid(),
+            start_ns: self.start_ns,
+            dur_ns,
+            args: std::mem::take(&mut self.args),
+        });
+        dur_ns
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Renders records as NDJSON (one [`SPAN_SCHEMA`] object per line).
+pub fn spans_to_ndjson(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&rec.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders records as a Chrome `trace_event` document (JSON object
+/// format, `ph:"X"` complete events, microsecond timestamps) that loads
+/// in Perfetto / `chrome://tracing`.
+///
+/// Span args ride along under `args`, with the span/parent ids added so
+/// rows can be matched back to NDJSON records and row provenance.
+pub fn spans_to_chrome(records: &[SpanRecord]) -> Json {
+    let events: Vec<Json> = records
+        .iter()
+        .map(|rec| {
+            let mut args = Json::obj()
+                .field("span", rec.id)
+                .field("parent", rec.parent);
+            for (k, v) in &rec.args {
+                args = args.field(k, v.clone());
+            }
+            Json::obj()
+                .field("name", rec.name.as_str())
+                .field("cat", "macs")
+                .field("ph", "X")
+                .field("ts", rec.start_ns as f64 / 1e3)
+                .field("dur", rec.dur_ns as f64 / 1e3)
+                .field("pid", 1u64)
+                .field("tid", rec.tid)
+                .field("args", args)
+        })
+        .collect();
+    Json::obj()
+        .field("traceEvents", Json::Arr(events))
+        .field("displayTimeUnit", "ms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_account() {
+        let tracer = Tracer::new();
+        let mut sweep = tracer.span("sweep");
+        sweep.arg("grid", "smoke");
+        let point = sweep.child("point");
+        let a = point.child("validate");
+        drop(a);
+        let b = point.child("simulate");
+        let sim_ns = b.end();
+        drop(point);
+        drop(sweep);
+
+        let recs = tracer.drain();
+        assert_eq!(recs.len(), 4);
+        let by_name = |n: &str| recs.iter().find(|r| r.name == n).unwrap();
+        let sweep = by_name("sweep");
+        let point = by_name("point");
+        let validate = by_name("validate");
+        let simulate = by_name("simulate");
+        assert_eq!(sweep.parent, 0);
+        assert_eq!(point.parent, sweep.id);
+        assert_eq!(validate.parent, point.id);
+        assert_eq!(simulate.parent, point.id);
+        assert_eq!(simulate.dur_ns, sim_ns);
+        // Well-nested: children within parents, phases sum ≤ point.
+        for (child, parent) in [(point, sweep), (validate, point), (simulate, point)] {
+            assert!(child.start_ns >= parent.start_ns);
+            assert!(child.end_ns() <= parent.end_ns());
+        }
+        assert!(validate.dur_ns + simulate.dur_ns <= point.dur_ns);
+        assert_eq!(tracer.dropped(), 0);
+        // Sorted parents-first.
+        assert!(recs[0].name == "sweep");
+    }
+
+    #[test]
+    fn drain_empties_the_buffers() {
+        let tracer = Tracer::new();
+        drop(tracer.span("a"));
+        assert_eq!(tracer.drain().len(), 1);
+        assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn cap_bounds_storage_and_counts_drops() {
+        let tracer = Tracer::with_cap(SHARDS); // one record per shard
+        for _ in 0..20 {
+            drop(tracer.span("s"));
+        }
+        // This thread maps to one shard, which holds one record.
+        assert_eq!(tracer.drain().len(), 1);
+        assert_eq!(tracer.dropped(), 19);
+    }
+
+    #[test]
+    fn ndjson_and_chrome_exports() {
+        let tracer = Tracer::new();
+        let mut s = tracer.span("point");
+        s.arg("id", "lfk1 \"quoted\"");
+        drop(s);
+        let recs = tracer.drain();
+
+        let ndjson = spans_to_ndjson(&recs);
+        let parsed = Json::parse(ndjson.trim()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(SPAN_SCHEMA)
+        );
+        assert_eq!(
+            parsed
+                .get("args")
+                .and_then(|a| a.get("id"))
+                .and_then(Json::as_str),
+            Some("lfk1 \"quoted\"")
+        );
+
+        let chrome = spans_to_chrome(&recs);
+        let events = chrome.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(e.get("name").and_then(Json::as_str), Some("point"));
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(Json::as_f64).is_some());
+        // The document round-trips through the parser (valid JSON).
+        assert_eq!(Json::parse(&chrome.to_string()).unwrap(), chrome);
+    }
+
+    #[test]
+    fn ids_are_unique_and_allocated_at_start() {
+        let tracer = Tracer::new();
+        let a = tracer.span("a");
+        let b = tracer.span("b");
+        assert_ne!(a.id(), b.id());
+        let child = a.child("c");
+        assert!(child.id() > a.id());
+    }
+}

@@ -179,6 +179,26 @@ pub struct Cpu {
     ff: FastForward,
     // Instructions skipped analytically by fast-forward in the last run.
     ff_skipped: u64,
+    // Backward-branch arrivals the detector examined in the last run.
+    ff_probes: u64,
+    // Warps that actually skipped iterations in the last run.
+    ff_warps: u64,
+}
+
+/// Fast-forward telemetry for one run: how often the steady-state
+/// detector probed a loop head, how often a verified period actually
+/// warped, and how many instructions the warps skipped. The hit/miss
+/// split (`warps` vs `probes`) is what the sweep service's metrics plane
+/// exports — a sweep whose points never warp is paying full element
+/// stepping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FfStats {
+    /// Taken-backward-branch arrivals the detector examined.
+    pub probes: u64,
+    /// Warps that skipped at least one iteration (fast-forward hits).
+    pub warps: u64,
+    /// Instructions skipped analytically across all warps.
+    pub skipped_instructions: u64,
 }
 
 fn pipe_slot(pipe: Pipe) -> usize {
@@ -218,6 +238,8 @@ impl Cpu {
             trace: Trace::default(),
             ff: FastForward::new(),
             ff_skipped: 0,
+            ff_probes: 0,
+            ff_warps: 0,
         }
     }
 
@@ -336,6 +358,8 @@ impl Cpu {
         self.cache.reset();
         self.ff = FastForward::new();
         self.ff_skipped = 0;
+        self.ff_probes = 0;
+        self.ff_warps = 0;
     }
 
     /// Instructions the last run skipped via steady-state fast-forward
@@ -344,6 +368,15 @@ impl Cpu {
     /// statistics; this only reveals how much exact stepping was avoided.
     pub fn fast_forwarded_instructions(&self) -> u64 {
         self.ff_skipped
+    }
+
+    /// Fast-forward telemetry for the last run (probe/warp/skip counts).
+    pub fn ff_stats(&self) -> FfStats {
+        FfStats {
+            probes: self.ff_probes,
+            warps: self.ff_warps,
+            skipped_instructions: self.ff_skipped,
+        }
     }
 
     /// Runs `program` from its first instruction until `halt`.
@@ -448,6 +481,9 @@ impl Cpu {
             let skipped = self.ff_warp(probe, program, next, cursor.executed);
             cursor.executed += skipped;
             self.ff_skipped += skipped;
+            if skipped > 0 {
+                self.ff_warps += 1;
+            }
         }
         cursor.pc = next;
         Ok(())
@@ -1699,6 +1735,7 @@ impl Cpu {
     /// Drives the detector at a taken backward branch to `target`.
     /// Returns true when a verified period record is armed for warping.
     fn ff_loop_head<P: Probe>(&mut self, probe: &mut P, target: usize, executed: u64) -> bool {
+        self.ff_probes += 1;
         let h = hash_words(&self.ff_key());
         match self.ff.arrival(target, h) {
             ArrivalAction::Nothing => false,
@@ -2378,6 +2415,34 @@ mod tests {
             (525.0..=532.0).contains(&per_iter),
             "LFK1 iteration cost {per_iter}, paper says 527"
         );
+    }
+
+    /// Fast-forward telemetry is coherent: a steady loop warps at least
+    /// once, probes at least as often as it warps, and the skip count
+    /// matches [`Cpu::fast_forwarded_instructions`]; with fast-forward
+    /// off every counter is zero.
+    #[test]
+    fn ff_stats_report_probes_warps_and_skips() {
+        let p = lfk1_program(40);
+        let mut cpu = Cpu::new(quiet_config());
+        cpu.set_sreg_int(0, 40 * 128);
+        cpu.run(&p).unwrap();
+        let stats = cpu.ff_stats();
+        assert!(stats.warps >= 1, "steady LFK1 loop should warp: {stats:?}");
+        assert!(stats.probes >= stats.warps, "{stats:?}");
+        assert_eq!(
+            stats.skipped_instructions,
+            cpu.fast_forwarded_instructions()
+        );
+        assert!(stats.skipped_instructions > 0, "{stats:?}");
+
+        let mut exact = Cpu::new(SimConfig {
+            fast_forward: false,
+            ..quiet_config()
+        });
+        exact.set_sreg_int(0, 40 * 128);
+        exact.run(&p).unwrap();
+        assert_eq!(exact.ff_stats(), FfStats::default());
     }
 
     /// With refresh enabled the same loop costs ≈ 2% more (537.5), and

@@ -58,7 +58,7 @@ mod trace;
 mod validate;
 
 pub use config::{ScalarTiming, SimConfig};
-pub use cpu::Cpu;
+pub use cpu::{Cpu, FfStats};
 pub use error::SimError;
 pub use machine::Machine;
 pub use stats::{ClassCounts, RunStats};

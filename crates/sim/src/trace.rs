@@ -63,6 +63,7 @@ pub struct Trace {
     events: Vec<TraceEvent>,
     cap: usize,
     dropped: u64,
+    origin_ns: u64,
 }
 
 impl Default for Trace {
@@ -87,7 +88,17 @@ impl Trace {
             }),
             cap,
             dropped: 0,
+            origin_ns: c240_obs::monotonic_ns(),
         }
+    }
+
+    /// The wall-clock anchor of this trace: nanoseconds on the process's
+    /// shared monotonic clock (`c240_obs::monotonic_ns`) when the run's
+    /// timing state was reset. Trace timestamps are in simulated cycles;
+    /// this anchor lets a consumer place the run on the same timeline as
+    /// the observability plane's wall-clock spans.
+    pub fn origin_ns(&self) -> u64 {
+        self.origin_ns
     }
 
     pub(crate) fn push(&mut self, event: TraceEvent) {

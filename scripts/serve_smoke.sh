@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Serve-mode smoke: drive a 12-point grid (2 invalid, 1 deliberately slow
-# under a tight deadline) through `macs-bench --serve`, kill -9 the server
+# under a tight deadline) through `macs-bench --serve` over TCP with the
+# observability plane on, scrape /metrics mid-sweep, kill -9 the server
 # mid-sweep, then --resume and assert the sweep completes with every
-# valid point computed exactly once (journal dedupe check).
+# valid point computed exactly once (journal dedupe check), that the
+# final Prometheus counters equal the end-of-stream summary exactly, and
+# that counters only ever grow between scrapes.
 set -euo pipefail
 
 BIN="${1:-./target/release/macs-bench}"
@@ -12,7 +15,12 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+CLEANUP=""
+cleanup() {
+    [[ -n "$CLEANUP" ]] && kill $CLEANUP 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
 JOURNAL="$WORK/journal.ndjson"
 GRID="$WORK/grid.ndjson"
 
@@ -29,22 +37,100 @@ GRID="$WORK/grid.ndjson"
     echo '{"id":"slow","kernel":12,"inject":{"sleep_ms":5000},"deadline_ms":1000}'
 } > "$GRID"
 
-echo "serve_smoke: phase 1 — serve on one worker, kill -9 after two rows"
-mkfifo "$WORK/feed"
-"$BIN" --serve --journal "$JOURNAL" --workers 1 --max-attempts 1 \
-    < "$WORK/feed" > "$WORK/out1.ndjson" 2>/dev/null &
-SERVER=$!
-# Hold the fifo open for the server's whole life so EOF never ends the
-# stream early; the kill must interrupt a running sweep.
-exec 3> "$WORK/feed"
-cat "$GRID" >&3
-for _ in $(seq 1 100); do
-    [[ $(wc -l < "$WORK/out1.ndjson") -ge 2 ]] && break
-    sleep 0.1
-done
+# Starts the server on an ephemeral TCP port and echoes the bound
+# address parsed from its stderr banner.
+start_server() { # extra args...
+    : > "$WORK/server.log"
+    "$BIN" --serve --listen 127.0.0.1:0 --metrics --snapshot-every 2 \
+        --journal "$JOURNAL" --workers 1 --max-attempts 1 "$@" \
+        2> "$WORK/server.log" &
+    SERVER=$!
+    disown "$SERVER"
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's/.*serving on tcp //p' "$WORK/server.log" | head -1)
+        [[ -n "$ADDR" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$ADDR" ]]; then
+        echo "serve_smoke: FAIL — server did not bind" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+}
+
+# Feeds the grid over one TCP connection, streaming rows to $2 as they
+# arrive. With `hold`, the write half stays open (so a kill -9 lands on
+# a running sweep); otherwise it is shut down so the server ends the
+# stream and emits its summary.
+feed() { # addr out hold|close
+    python3 - "$1" "$GRID" "$2" "$3" <<'EOF'
+import socket, sys, time
+addr, grid, out, mode = sys.argv[1:5]
+host, port = addr.rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=60)
+s.sendall(open(grid, "rb").read())
+if mode == "close":
+    s.shutdown(socket.SHUT_WR)
+with open(out, "wb", 0) as f:
+    while True:
+        try:
+            b = s.recv(65536)
+        except socket.timeout:
+            break
+        if not b:
+            break
+        f.write(b)
+EOF
+}
+
+# Scrapes GET /metrics off the sweep listener and prints the body.
+scrape() { # addr
+    python3 - "$1" <<'EOF'
+import socket, sys
+host, port = sys.argv[1].rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=10)
+s.sendall(b"GET /metrics HTTP/1.0\r\nHost: smoke\r\n\r\n")
+data = b""
+while True:
+    b = s.recv(65536)
+    if not b:
+        break
+    data += b
+head, _, body = data.partition(b"\r\n\r\n")
+assert b"200 OK" in head.splitlines()[0], head
+sys.stdout.write(body.decode())
+EOF
+}
+
+wait_rows() { # file min_rows
+    for _ in $(seq 1 200); do
+        [[ $(wc -l < "$1") -ge "$2" ]] && return 0
+        sleep 0.1
+    done
+    return 1
+}
+
+echo "serve_smoke: phase 1 — serve over TCP, scrape mid-sweep, kill -9 after two rows"
+start_server
+: > "$WORK/out1.ndjson"
+feed "$ADDR" "$WORK/out1.ndjson" hold &
+FEEDER=$!
+CLEANUP="$SERVER $FEEDER"
+if ! wait_rows "$WORK/out1.ndjson" 2; then
+    echo "serve_smoke: FAIL — no rows before kill" >&2
+    exit 1
+fi
+# Mid-sweep scrape: the metrics endpoint must answer while a sweep is
+# actively running on the same listener.
+scrape "$ADDR" > "$WORK/metrics1.txt"
+grep -q '^# TYPE macs_points_total counter' "$WORK/metrics1.txt"
+grep -q 'macs_points_total{outcome="ok"}' "$WORK/metrics1.txt"
 kill -9 "$SERVER"
+kill "$FEEDER" 2>/dev/null || true
 wait "$SERVER" 2>/dev/null || true
-exec 3>&-
+wait "$FEEDER" 2>/dev/null || true
+CLEANUP=""
 
 DONE=$(grep -c '"key"' "$JOURNAL" || true)
 TOTAL=$(wc -l < "$GRID")
@@ -54,9 +140,24 @@ if [[ "$DONE" -lt 1 || "$DONE" -ge "$TOTAL" ]]; then
     exit 1
 fi
 
-echo "serve_smoke: phase 2 — resume the same grid"
-"$BIN" --serve --journal "$JOURNAL" --resume "$JOURNAL" --max-attempts 1 \
-    < "$GRID" > "$WORK/out2.ndjson"
+echo "serve_smoke: phase 2 — resume the same grid, scrape mid-sweep and after"
+start_server --resume "$JOURNAL"
+CLEANUP="$SERVER"
+: > "$WORK/out2.ndjson"
+feed "$ADDR" "$WORK/out2.ndjson" close &
+FEEDER=$!
+CLEANUP="$SERVER $FEEDER"
+# Mid-sweep scrape: lands while the resumed sweep still runs (the slow
+# point alone holds the stream open for its 1s deadline).
+wait_rows "$WORK/out2.ndjson" 1 || true
+scrape "$ADDR" > "$WORK/metrics2_mid.txt"
+wait "$FEEDER"
+CLEANUP="$SERVER"
+# Final scrape, after the stream's summary: counters must now equal it.
+scrape "$ADDR" > "$WORK/metrics2_final.txt"
+kill -9 "$SERVER" 2>/dev/null || true
+wait "$SERVER" 2>/dev/null || true
+CLEANUP=""
 
 python3 - "$WORK" "$DONE" <<'EOF'
 import json, sys
@@ -87,12 +188,22 @@ assert kinds.get("nokern") == "unknown_kernel", kinds
 assert kinds.get("slow") == "timeout", kinds
 assert [r for r in rows if r["id"] == "slow"][0]["poisoned"] is True
 
+# Every row computed under the observability plane carries provenance.
+for r in rows:
+    if "key" in r:
+        assert "trace" in r and r["trace"]["span"] > 0, f"no provenance: {r['id']}"
+
 # Journal dedupe: after the resume, the journal holds each of the 12
-# points exactly once, and the rows resumed in phase 2 are byte-identical
-# to what phase 1 journaled.
+# points exactly once (metrics snapshot rows interleave and are skipped),
+# and the rows resumed in phase 2 are byte-identical to what phase 1
+# journaled.
 journal = [json.loads(l) for l in open(f"{work}/journal.ndjson") if l.strip()]
-header, records = journal[0], journal[1:]
+header, body = journal[0], journal[1:]
 assert header["schema"] == "c240-sweep-journal/v1", header
+records = [r for r in body if "key" in r]
+snapshots = [r for r in body if r.get("schema") == "c240-metrics/v1"]
+assert snapshots, "journal holds no c240-metrics/v1 snapshots"
+assert all("counters" in s and "monotonic_ns" in s for s in snapshots)
 keys = [r["key"] for r in records]
 assert len(keys) == 12, f"journal holds {len(keys)} records, expected 12"
 assert len(set(keys)) == 12, "journal contains duplicate point keys"
@@ -101,6 +212,35 @@ by_key = {r["key"]: r["row"] for r in records}
 for row in rows:
     if "key" in row:
         assert by_key[row["key"]] == row, f"row diverged from journal: {row['id']}"
+
+# Metrics: final counters equal the summary exactly, and no counter
+# shrank between the mid-sweep and final scrapes (monotonicity).
+def counters(path):
+    out = {}
+    for line in open(path):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        out[name] = float(value)
+    return out
+
+mid, final = counters(f"{work}/metrics2_mid.txt"), counters(f"{work}/metrics2_final.txt")
+def outcome(n):
+    return final.get(f'macs_points_total{{outcome="{n}"}}', 0)
+assert outcome("resumed") == summary["resumed"], (final, summary)
+assert outcome("ok") == summary["ok"], (final, summary)
+assert outcome("invalid") == summary["invalid"], (final, summary)
+assert outcome("timed_out") == summary["timed_out"], (final, summary)
+assert outcome("panicked") == summary["panicked"] == 0, (final, summary)
+assert outcome("duplicate") == summary["duplicate"] == 0, (final, summary)
+monotone = [n for n in mid if "_total{" in n or n.endswith("_total")
+            or "_bucket{" in n or n.endswith(("_count", "_sum"))]
+assert monotone, "mid-sweep scrape saw no counters"
+for name in monotone:
+    assert final.get(name, 0) >= mid[name], f"counter {name} shrank"
 print("serve_smoke: PASS — 12 points answered once each "
-      f"(9 ok, 2 invalid, 1 timeout; {done_before} resumed), journal deduplicated")
+      f"(9 ok, 2 invalid, 1 timeout; {done_before} resumed), journal "
+      f"deduplicated, {len(snapshots)} metrics snapshots journaled, "
+      "Prometheus counters reconcile with the summary")
 EOF
