@@ -4,7 +4,8 @@
 //! macs-bench [OUT_DIR]        (default: results)
 //! macs-bench --serve [--journal FILE] [--resume FILE] [--workers N]
 //!            [--deadline-ms N] [--max-attempts N] [--backoff-ms N]
-//!            [--backoff-cap-ms N] [--listen ADDR | --unix PATH]
+//!            [--backoff-cap-ms N] [--machine PRESET]
+//!            [--listen ADDR | --unix PATH]
 //!            [--metrics] [--trace-out FILE] [--spans-out FILE]
 //!            [--snapshot-every N]
 //! ```
@@ -15,7 +16,9 @@
 //! one summary row at end of stream. `--journal` checkpoints every
 //! completed point; `--resume` re-emits already-computed rows verbatim
 //! and evaluates only the rest, so a killed sweep loses at most its
-//! in-flight points.
+//! in-flight points. `--machine` picks the base machine preset the
+//! sweep evaluates against (default `c240`); individual points may
+//! still name their own preset via the protocol's `machine` field.
 //!
 //! `--metrics` enables the observability plane: spans, a metrics
 //! registry served as Prometheus text on `GET /metrics` over the
@@ -54,6 +57,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+use c240_isa::{MachineDescription, PRESET_NAMES};
 use c240_obs::json::Json;
 use c240_obs::{CounterProbe, StallCause};
 use c240_sim::{Cpu, Machine, SimConfig};
@@ -94,15 +98,27 @@ fn civil_date_utc() -> (i64, u32, u32) {
     (if m <= 2 { y + 1 } else { y }, m, d)
 }
 
-/// The harness's simulator configuration: the standard C-240, with
-/// fast-forward switched off when `MACS_FF=0` (the CI exactness smoke).
-fn harness_config() -> SimConfig {
-    let cfg = SimConfig::c240();
-    if std::env::var("MACS_FF").as_deref() == Ok("0") {
+/// The harness's simulator configuration: the named machine preset
+/// (the standard C-240 when `None`), with fast-forward switched off
+/// when `MACS_FF=0` (the CI exactness smoke).
+fn harness_config(machine: Option<&str>) -> Result<SimConfig, String> {
+    let cfg = match machine {
+        None => SimConfig::c240(),
+        Some(name) => {
+            let desc = MachineDescription::preset(name).ok_or_else(|| {
+                format!(
+                    "unknown machine preset {name:?} (known presets: {})",
+                    PRESET_NAMES.join(", ")
+                )
+            })?;
+            SimConfig::for_machine(&desc)
+        }
+    };
+    Ok(if std::env::var("MACS_FF").as_deref() == Ok("0") {
         cfg.without_fast_forward()
     } else {
         cfg
-    }
+    })
 }
 
 /// One probed run of a kernel's default workload: the per-kernel JSON
@@ -187,6 +203,7 @@ fn parse_serve_args(
     let mut opts = ServeOptions::default();
     let mut listen: Option<String> = None;
     let mut unix: Option<PathBuf> = None;
+    let mut machine: Option<String> = None;
     let mut metrics = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut spans_out: Option<PathBuf> = None;
@@ -220,6 +237,7 @@ fn parse_serve_args(
             "--backoff-cap-ms" => {
                 opts.retry.backoff_cap = Duration::from_millis(number(value(&mut it, flag)?, flag)?)
             }
+            "--machine" => machine = Some(value(&mut it, flag)?.clone()),
             "--listen" => listen = Some(value(&mut it, flag)?.clone()),
             "--unix" => unix = Some(PathBuf::from(value(&mut it, flag)?)),
             "--metrics" => metrics = true,
@@ -240,20 +258,20 @@ fn parse_serve_args(
             ..ServeObs::default()
         });
     }
+    opts.base = harness_config(machine.as_deref())?;
     Ok((opts, listen, unix))
 }
 
 /// The `--serve` entry point: stdin/stdout by default, a socket with
 /// `--listen`/`--unix`.
 fn serve_main(args: &[String]) -> ExitCode {
-    let (mut opts, listen, unix) = match parse_serve_args(args) {
+    let (opts, listen, unix) = match parse_serve_args(args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("macs-bench --serve: {message}");
             return ExitCode::FAILURE;
         }
     };
-    opts.base = harness_config();
     let served = if let Some(addr) = listen {
         macs_bench::serve::serve_tcp(&addr, &opts).map(|()| None)
     } else if let Some(path) = unix {
@@ -284,7 +302,7 @@ fn main() -> ExitCode {
         return serve_main(&args[1..]);
     }
     let out_dir = PathBuf::from(args.first().cloned().unwrap_or_else(|| "results".into()));
-    let sim = harness_config();
+    let sim = harness_config(None).expect("the default machine always resolves");
     let threads = macs_core::threads();
 
     eprintln!("running the ten-kernel suite under the counting probe ({threads} threads)...");

@@ -354,13 +354,20 @@ pub fn eval_point_observed(
         )
     };
 
-    // Validate: kernel lookup plus configuration validation.
+    // Validate: kernel lookup, machine-preset resolution, configuration
+    // validation.
     let vspan = point_span.as_ref().map(|s| s.child("validate"));
     let checked = match lfk_suite::by_id(point.kernel) {
         None => Err(format!("LFK{} is not part of the case study", point.kernel)),
         Some(k) => Ok(k),
     };
-    let cfg = point.config(base);
+    let cfg = match point.config(base) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            prov.validate_ns = vspan.map(Span::end);
+            return reject(point_span, &prov, "unknown_machine", &e.to_string());
+        }
+    };
     let checked = checked.map(|k| cfg.validate().map(|()| k).map_err(|e| e.to_string()));
     prov.validate_ns = vspan.map(Span::end);
     let kernel = match checked {
@@ -383,6 +390,7 @@ pub fn eval_point_observed(
     let flops = kernel.flops_total();
     let fault = point.inject;
     let cpus = cfg.cpus as usize;
+    let machine = cfg.machine.clone();
 
     // Simulate: the supervised run, covering every attempt and backoff.
     // Attempt spans are opened by the run closure on the watchdog's
@@ -495,6 +503,7 @@ pub fn eval_point_observed(
             Evaluated {
                 row: base_row(point, &key)
                     .field("status", "ok")
+                    .field("machine", machine.as_str())
                     .field("attempts", s.attempts)
                     .field("cpus", cpus as u64)
                     .field("passes", passes as f64)

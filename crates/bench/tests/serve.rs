@@ -309,3 +309,64 @@ fn fuzzed_streams_answer_every_line_and_exit_zero() {
         );
     }
 }
+
+#[test]
+fn machine_presets_serve_with_distinct_keys_and_labels() {
+    let input = concat!(
+        "{\"id\":\"base\",\"kernel\":1}\n",
+        "{\"id\":\"wide\",\"kernel\":1,\"machine\":\"c240-64b\"}\n",
+        "{\"id\":\"dual\",\"kernel\":1,\"machine\":\"dual-port\"}\n",
+        "{\"id\":\"ghost\",\"kernel\":1,\"machine\":\"c241\"}\n",
+    );
+    let (rows, summary) = serve_once(input, &[]);
+    assert_eq!(rows.len(), 4, "every line is answered");
+    assert_eq!(field_num(&summary, "ok"), Some(3.0));
+    // Evaluated rows are labeled with the machine they ran on.
+    assert_eq!(field_str(row_by_id(&rows, "base"), "machine"), Some("c240"));
+    assert_eq!(
+        field_str(row_by_id(&rows, "wide"), "machine"),
+        Some("c240-64b")
+    );
+    assert_eq!(
+        field_str(row_by_id(&rows, "dual"), "machine"),
+        Some("dual-port")
+    );
+    // An unknown preset is a structured error row, never a dead server,
+    // and the message names both the stranger and the known presets.
+    let ghost = row_by_id(&rows, "ghost");
+    assert_eq!(field_str(ghost, "status"), Some("error"));
+    assert_eq!(field_str(ghost, "error_kind"), Some("unknown_machine"));
+    let message = field_str(ghost, "message").expect("error rows carry a message");
+    assert!(message.contains("c241") && message.contains("c240-64b"));
+    // Same kernel on three machines: three distinct journal keys, so
+    // per-machine results coexist in one journal without collisions.
+    let keys: std::collections::HashSet<&str> = rows
+        .iter()
+        .filter(|r| field_str(r, "status") == Some("ok"))
+        .map(|r| field_str(r, "key").expect("ok rows carry a key"))
+        .collect();
+    assert_eq!(keys.len(), 3, "machine name is part of the point key");
+    // The 64-bank chassis runs the same kernel in fewer (or equal)
+    // cycles than the stock C-240 — the machine field actually changes
+    // the evaluated machine, not just the label.
+    let base_cycles = field_num(row_by_id(&rows, "base"), "cycles").unwrap();
+    let wide_cycles = field_num(row_by_id(&rows, "wide"), "cycles").unwrap();
+    assert!(wide_cycles <= base_cycles, "{wide_cycles} vs {base_cycles}");
+}
+
+#[test]
+fn serve_machine_flag_sets_the_base_machine() {
+    let input = "{\"id\":\"p\",\"kernel\":1}\n";
+    let (rows, _) = serve_once(input, &["--machine", "c240-64b"]);
+    assert_eq!(
+        field_str(row_by_id(&rows, "p"), "machine"),
+        Some("c240-64b")
+    );
+    // A bad preset name fails flag parsing up front (exit nonzero).
+    let out = serve_cmd(&["--machine", "c241"])
+        .spawn()
+        .expect("server spawns")
+        .wait_with_output()
+        .expect("server exits");
+    assert!(!out.status.success(), "unknown preset must not serve");
+}

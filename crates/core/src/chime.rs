@@ -39,6 +39,14 @@ impl BankModel {
         }
     }
 
+    /// The bank geometry of a declarative machine description.
+    pub fn for_machine(machine: &c240_isa::MachineDescription) -> Self {
+        BankModel {
+            banks: machine.banks,
+            bank_busy: machine.bank_busy,
+        }
+    }
+
     /// Effective cycles per element for a given word stride.
     ///
     /// ```
@@ -85,6 +93,27 @@ impl ChimeConfig {
             refresh_min_run: 4,
             refresh_enabled: true,
             pair_constraint: true,
+            bank_model: None,
+        }
+    }
+
+    /// Derives the chime-cost model from a declarative machine
+    /// description: its timing table and vector length, the pair
+    /// constraint, and the refresh factor computed from the bank refresh
+    /// duty cycle (`(period + len) / period`; exactly the paper's 1.02
+    /// for the C-240's 8-in-400). `for_machine(&c240())` equals
+    /// [`ChimeConfig::c240`] (pinned by `tests/machine_presets.rs`).
+    /// The MACS-D bank model stays detached, as in `c240()`; attach it
+    /// with [`ChimeConfig::with_bank_model`] +
+    /// [`BankModel::for_machine`] for stride-aware bounds.
+    pub fn for_machine(machine: &c240_isa::MachineDescription) -> Self {
+        ChimeConfig {
+            timing: machine.timing.clone(),
+            vl: machine.max_vl,
+            refresh_factor: machine.refresh_factor(),
+            refresh_min_run: 4,
+            refresh_enabled: machine.refresh_enabled,
+            pair_constraint: machine.pair_constraint,
             bank_model: None,
         }
     }

@@ -7,7 +7,20 @@
 //! {"id":"lfk1-nochain","kernel":1,"config":{"chaining":false}}
 //! {"kernel":12,"passes":10,"deadline_ms":500}
 //! {"kernel":1,"config":{"cpus":4,"contention":"mixed:3"}}
+//! {"kernel":3,"machine":"c240-64b"}
 //! ```
+//!
+//! The optional top-level `machine` field names a
+//! [`MachineDescription`] preset the point is evaluated on instead of
+//! the server's base machine (the server's *operational* knobs — trace
+//! settings, instruction limit, fast-forward, CPU count, background
+//! contention — still apply, and `config` overrides still win). The
+//! name is part of the canonical rendering, so rows computed on
+//! different machines get different journal keys and never collide in a
+//! shared checkpoint file. An unknown preset is not a protocol error —
+//! the shape is valid — but config resolution fails with
+//! [`UnknownMachine`], which the server turns into a structured
+//! `unknown_machine` error row.
 //!
 //! Parsing is *strict*: unknown fields — top-level or inside `config` —
 //! are protocol errors, so a typo like `"chainning"` yields an error row
@@ -30,6 +43,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, LineWriter, Write};
 use std::path::Path;
 
+use c240_isa::{MachineDescription, PRESET_NAMES};
 use c240_obs::json::{Json, JsonError};
 use c240_sim::SimConfig;
 
@@ -97,6 +111,9 @@ pub struct SweepPoint {
     pub id: String,
     /// LFK kernel number.
     pub kernel: u32,
+    /// Machine preset to evaluate on ([`MachineDescription::preset`])
+    /// instead of the server's base machine. Part of the journal key.
+    pub machine: Option<String>,
     /// Outer-loop pass count override.
     pub passes: Option<i64>,
     /// Per-point deadline override, milliseconds.
@@ -268,6 +285,7 @@ pub fn parse_point(line: &str) -> Result<SweepPoint, ProtocolError> {
     };
     let mut id: Option<String> = None;
     let mut kernel: Option<u32> = None;
+    let mut machine: Option<String> = None;
     let mut passes: Option<i64> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut inject: Option<Fault> = None;
@@ -285,6 +303,16 @@ pub fn parse_point(line: &str) -> Result<SweepPoint, ProtocolError> {
                 )
             }
             "kernel" => kernel = Some(field_u32(v, "kernel")?),
+            "machine" => {
+                machine = Some(
+                    v.as_str()
+                        .ok_or(ProtocolError::BadField {
+                            field: "machine",
+                            expected: "a machine preset name (a string)",
+                        })?
+                        .to_string(),
+                )
+            }
             "passes" => {
                 passes = Some(as_integer(v).ok_or(ProtocolError::BadField {
                     field: "passes",
@@ -305,6 +333,7 @@ pub fn parse_point(line: &str) -> Result<SweepPoint, ProtocolError> {
     let mut point = SweepPoint {
         id: String::new(),
         kernel,
+        machine,
         passes,
         deadline_ms,
         inject,
@@ -330,6 +359,9 @@ impl SweepPoint {
     /// with the same canonical form are the same computation.
     pub fn canonical(&self) -> Json {
         let mut c = Json::obj().field("kernel", self.kernel);
+        if let Some(m) = &self.machine {
+            c = c.field("machine", m.as_str());
+        }
         if let Some(p) = self.passes {
             c = c.field("passes", p as f64);
         }
@@ -400,12 +432,35 @@ impl SweepPoint {
         line.to_string()
     }
 
-    /// Applies the overrides to a base configuration. Infallible and
-    /// panic-free by construction: fields are set raw and the *caller*
-    /// runs [`SimConfig::validate`] on the result, so an out-of-range
-    /// override becomes a typed error row rather than a panic.
-    pub fn config(&self, base: &SimConfig) -> SimConfig {
-        let mut cfg = base.clone();
+    /// Resolves the point's configuration: the machine half comes from
+    /// the point's `machine` preset (or the base when none is named),
+    /// the base's operational knobs (tracing, instruction limit,
+    /// fast-forward, CPU count, background contention) carry over, and
+    /// the overrides apply last. Panic-free by construction: override
+    /// fields are set raw and the *caller* runs [`SimConfig::validate`]
+    /// on the result, so an out-of-range override becomes a typed error
+    /// row rather than a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownMachine`] when the point names a preset
+    /// [`MachineDescription::preset`] does not know.
+    pub fn config(&self, base: &SimConfig) -> Result<SimConfig, UnknownMachine> {
+        let mut cfg = match &self.machine {
+            None => base.clone(),
+            Some(name) => {
+                let machine = MachineDescription::preset(name)
+                    .ok_or_else(|| UnknownMachine { name: name.clone() })?;
+                let mut cfg = SimConfig::for_machine(&machine);
+                cfg.trace = base.trace;
+                cfg.trace_cap = base.trace_cap;
+                cfg.max_instructions = base.max_instructions;
+                cfg.fast_forward = base.fast_forward;
+                cfg.cpus = base.cpus;
+                cfg.mem.contention = base.mem.contention.clone();
+                cfg
+            }
+        };
         let o = &self.overrides;
         if let Some(b) = o.chaining {
             cfg.chaining = b;
@@ -449,9 +504,34 @@ impl SweepPoint {
             }
             None => {}
         }
-        cfg
+        Ok(cfg)
     }
 }
+
+/// A sweep point named a machine preset the registry does not know.
+///
+/// Deliberately *not* a [`ProtocolError`]: the request's shape is valid,
+/// the name just fails to resolve — analogous to an unknown kernel
+/// number — so the server reports it as a structured `unknown_machine`
+/// error row instead of a protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMachine {
+    /// The unresolvable preset name.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown machine preset `{}` (known presets: {})",
+            self.name,
+            PRESET_NAMES.join(", ")
+        )
+    }
+}
+
+impl Error for UnknownMachine {}
 
 /// The append-only checkpoint journal (schema [`JOURNAL_SCHEMA`]).
 ///
@@ -717,7 +797,7 @@ mod tests {
                "fast_forward":false,"pair_constraint":false,"contention":"mixed:2"}}"#,
         )
         .unwrap();
-        let cfg = p.config(&SimConfig::c240());
+        let cfg = p.config(&SimConfig::c240()).unwrap();
         assert!(!cfg.chaining && !cfg.pair_constraint && !cfg.fast_forward);
         assert!(!cfg.mem.refresh_enabled);
         assert_eq!(cfg.cpus, 2);
@@ -731,7 +811,73 @@ mod tests {
         // Out-of-range overrides apply raw and fail validation instead
         // of panicking.
         let p = parse_point(r#"{"kernel":1,"config":{"cpus":0}}"#).unwrap();
-        assert!(p.config(&SimConfig::c240()).validate().is_err());
+        assert!(p.config(&SimConfig::c240()).unwrap().validate().is_err());
+    }
+
+    #[test]
+    fn machine_presets_resolve_and_separate_keys() {
+        let base = parse_point(r#"{"kernel":1}"#).unwrap();
+        let banks64 = parse_point(r#"{"kernel":1,"machine":"c240-64b"}"#).unwrap();
+        let dual = parse_point(r#"{"kernel":1,"machine":"dual-port"}"#).unwrap();
+        let explicit = parse_point(r#"{"kernel":1,"machine":"c240"}"#).unwrap();
+        assert_eq!(banks64.machine.as_deref(), Some("c240-64b"));
+        // Same kernel, same config — the machine alone separates keys.
+        assert_ne!(base.key(), banks64.key());
+        assert_ne!(banks64.key(), dual.key());
+        assert_ne!(base.key(), explicit.key(), "naming c240 is semantic too");
+        // The resolved configurations reflect the named machine.
+        let cfg = banks64.config(&SimConfig::c240()).unwrap();
+        assert_eq!(cfg.machine, "c240-64b");
+        assert_eq!(cfg.mem.banks, 64);
+        let cfg = dual.config(&SimConfig::c240()).unwrap();
+        assert_eq!((cfg.ports, cfg.mem.banks), (2, 16));
+        assert_eq!(cfg.validate(), Ok(()));
+        // Request lines round-trip the machine field.
+        let again = parse_point(&banks64.request_line()).unwrap();
+        assert_eq!(again, banks64);
+        assert_eq!(again.key(), banks64.key());
+    }
+
+    #[test]
+    fn machine_presets_keep_operational_knobs_and_apply_overrides() {
+        let mut base = SimConfig::c240();
+        base.fast_forward = false;
+        base.max_instructions = 12_345;
+        base.trace_cap = 7;
+        base.cpus = 2;
+        base.mem.contention = c240_mem::ContentionConfig::mixed(3);
+        let p = parse_point(r#"{"kernel":1,"machine":"c240-64b","config":{"chaining":false}}"#)
+            .unwrap();
+        let cfg = p.config(&base).unwrap();
+        // Machine half from the preset…
+        assert_eq!(cfg.mem.banks, 64);
+        assert!(!cfg.chaining, "overrides still apply on top");
+        // …operational knobs from the base.
+        assert!(!cfg.fast_forward);
+        assert_eq!(cfg.max_instructions, 12_345);
+        assert_eq!(cfg.trace_cap, 7);
+        assert_eq!(cfg.cpus, 2);
+        assert!(!cfg.mem.contention.is_idle());
+    }
+
+    #[test]
+    fn unknown_machine_is_a_typed_resolution_error() {
+        let p = parse_point(r#"{"kernel":1,"machine":"cray-2"}"#).unwrap();
+        let err = p.config(&SimConfig::c240()).unwrap_err();
+        assert_eq!(err.name, "cray-2");
+        let message = err.to_string();
+        assert!(
+            message.contains("cray-2") && message.contains("c240-64b"),
+            "{message}"
+        );
+        // A non-string machine field is a protocol error, though.
+        assert!(matches!(
+            parse_point(r#"{"kernel":1,"machine":7}"#),
+            Err(ProtocolError::BadField {
+                field: "machine",
+                ..
+            })
+        ));
     }
 
     #[test]

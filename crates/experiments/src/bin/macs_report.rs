@@ -1,14 +1,20 @@
 //! `macs-report` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! macs-report [ARTIFACT...] [--cpus N] [--mix lockstep|mixed]
+//! macs-report [ARTIFACT...] [--machine PRESET] [--cpus N]
+//!             [--mix lockstep|mixed]
 //!             [--csv DIR] [--json PATH] [--trace-out DIR]
 //!             [--kernels a,b,..] [--ablations t1,t2,..] [--shard I/N]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 fig1 fig2 fig3 lfk1
 //!           cosim sweep-grid all   (default: all)
+//! --machine PRESET: generate every artifact for this machine preset
+//!                  (c240, c240-64b, dual-port; default c240). For
+//!                  `sweep-grid`, stamps the preset onto every request
+//!                  line so rows land under per-machine journal keys.
 //! --cpus N:        co-simulated CPUs for the `cosim` artifact
-//!                  (default 4, the machine the paper's bands describe)
+//!                  (default: the machine's port count — 4 on the C-240,
+//!                  the machine the paper's bands describe)
 //!                  and per-point CPUs for `sweep-grid`
 //! --mix MIX:       restrict `cosim` to one workload mix
 //!                  (default: both lockstep and mixed)
@@ -30,6 +36,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use c240_isa::{MachineDescription, PRESET_NAMES};
 use c240_obs::json::Json;
 use c240_sim::{Cpu, SimConfig};
 use macs_core::{ChimeConfig, RunReport, RUN_REPORT_SCHEMA};
@@ -38,6 +45,7 @@ use macs_experiments::{figures, tables, worked_example, Ablation, GridSpec, Suit
 
 struct Args {
     artifacts: Vec<String>,
+    machine: MachineDescription,
     cpus: Option<u32>,
     mix: Option<Mix>,
     csv_dir: Option<PathBuf>,
@@ -50,6 +58,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut artifacts = Vec::new();
+    let mut machine: Option<MachineDescription> = None;
     let mut cpus: Option<u32> = None;
     let mut mix = None;
     let mut csv_dir = None;
@@ -61,6 +70,15 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--machine" => {
+                let name = it.next().ok_or("--machine requires a preset name")?;
+                machine = Some(MachineDescription::preset(&name).ok_or_else(|| {
+                    format!(
+                        "--machine {name}: unknown preset (known: {})",
+                        PRESET_NAMES.join(", ")
+                    )
+                })?);
+            }
             "--cpus" => {
                 let n = it.next().ok_or("--cpus requires a count")?;
                 cpus = Some(
@@ -126,8 +144,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => return Err(
                 "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|cosim|sweep-grid|all]... \
-                     [--cpus N] [--mix lockstep|mixed] [--csv DIR] [--json PATH] \
-                     [--trace-out DIR] [--kernels a,b,..] [--ablations t1,t2,..] [--shard I/N]"
+                     [--machine PRESET] [--cpus N] [--mix lockstep|mixed] [--csv DIR] \
+                     [--json PATH] [--trace-out DIR] [--kernels a,b,..] \
+                     [--ablations t1,t2,..] [--shard I/N]"
                     .to_string(),
             ),
             known @ ("table1" | "table2" | "table3" | "table4" | "table5" | "fig1" | "fig2"
@@ -142,6 +161,7 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         artifacts,
+        machine: machine.unwrap_or_else(MachineDescription::c240),
         cpus,
         mix,
         csv_dir,
@@ -224,6 +244,9 @@ fn main() -> ExitCode {
     // explicit-only (never part of `all`) and preempts everything else.
     if args.artifacts.iter().any(|a| a == "sweep-grid") {
         let mut grid = GridSpec {
+            // The base machine needs no tag; naming a preset stamps it
+            // onto every request line (and thus every journal key).
+            machine: Some(args.machine.name.clone()).filter(|name| name != "c240"),
             shard_index: args.shard.0,
             shard_count: args.shard.1,
             ..GridSpec::default()
@@ -244,8 +267,14 @@ fn main() -> ExitCode {
         args.artifacts.iter().any(|a| a == name) || args.artifacts.iter().any(|a| a == "all")
     };
 
-    let sim = SimConfig::c240();
-    let chime = ChimeConfig::c240();
+    // Both derivations are bit-identical to `::c240()` for the default
+    // machine (pinned by tests/machine_presets.rs), so the default
+    // artifacts are unchanged by the preset plumbing.
+    let sim = SimConfig::for_machine(&args.machine);
+    let chime = ChimeConfig::for_machine(&args.machine);
+    if args.machine.name != "c240" {
+        eprintln!("machine preset: {}", args.machine.name);
+    }
     let needs_suite = ["table2", "table3", "table4", "table5", "fig1", "fig3"]
         .iter()
         .any(|a| want(a))
@@ -253,7 +282,7 @@ fn main() -> ExitCode {
         || args.trace_dir.is_some();
     let suite = if needs_suite {
         eprintln!("running the ten-kernel case study (bounds + 3 measurements each)...");
-        Some(Suite::run())
+        Some(Suite::run_with(&sim, &chime))
     } else {
         None
     };
@@ -297,8 +326,10 @@ fn main() -> ExitCode {
             Some(m) => vec![m],
             None => vec![Mix::Lockstep, Mix::Mixed],
         };
-        // The paper's bands describe the 4-CPU machine.
-        let cpus = args.cpus.unwrap_or(4);
+        // Default to fully populating the machine's memory ports — the
+        // 4-CPU C-240 is what the paper's bands describe; a 2-port
+        // preset co-simulates 2.
+        let cpus = args.cpus.unwrap_or(args.machine.ports);
         for mix in mixes {
             eprintln!("co-simulating {cpus} CPUs ({mix} mix)...");
             let report = run_cosim(&sim.clone().with_cpus(cpus), mix);

@@ -80,6 +80,10 @@ pub struct GridSpec {
     pub kernels: Vec<u32>,
     /// Ablations to cross with each kernel.
     pub ablations: Vec<Ablation>,
+    /// Machine preset every point names (`None` = the server's base
+    /// machine). Folded into each point's id and journal key, so grids
+    /// for different machines can share one journal.
+    pub machine: Option<String>,
     /// Co-simulated CPUs per point (1 = single-CPU measurement).
     pub cpus: u32,
     /// Keep only points with `index % shard_count == shard_index`.
@@ -94,6 +98,7 @@ impl Default for GridSpec {
         GridSpec {
             kernels: lfk_suite::IDS.to_vec(),
             ablations: Ablation::ALL.to_vec(),
+            machine: None,
             cpus: 1,
             shard_index: 0,
             shard_count: 1,
@@ -119,9 +124,14 @@ impl GridSpec {
             if self.cpus > 1 {
                 overrides.cpus = Some(self.cpus);
             }
+            let id = match &self.machine {
+                Some(machine) => format!("lfk{kernel}-{}@{machine}", ablation.tag()),
+                None => format!("lfk{kernel}-{}", ablation.tag()),
+            };
             points.push(SweepPoint {
-                id: format!("lfk{kernel}-{}", ablation.tag()),
+                id,
                 kernel,
+                machine: self.machine.clone(),
                 passes: None,
                 deadline_ms: None,
                 inject: None,
@@ -194,6 +204,27 @@ mod tests {
             assert_eq!(Ablation::parse(a.tag()), Some(a));
         }
         assert_eq!(Ablation::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn machine_grids_tag_ids_and_separate_keys() {
+        let base = GridSpec::default();
+        let grid = GridSpec {
+            machine: Some("c240-64b".into()),
+            ..GridSpec::default()
+        };
+        let points = grid.points();
+        assert!(points
+            .iter()
+            .all(|p| p.machine.as_deref() == Some("c240-64b")));
+        assert!(points.iter().all(|p| p.id.ends_with("@c240-64b")));
+        // Same kernels and ablations, different machine — every key
+        // differs from the base grid's, so one journal can hold both.
+        let base_keys: HashSet<String> = base.points().iter().map(|p| p.key()).collect();
+        assert!(points.iter().all(|p| !base_keys.contains(&p.key())));
+        for (line, point) in grid.request_lines().lines().zip(&points) {
+            assert_eq!(&parse_point(line).expect("valid line"), point);
+        }
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   round-trip in the paper's `ld.l 40120(a5),v0` notation,
 //! * [`timing::TimingTable`] — the `X + Y + Z·VL` instruction timing
 //!   parameters and tailgating bubble `B` of Table 1 of the paper,
+//! * [`machine::MachineDescription`] — the declarative machine
+//!   description (function units, chaining, timing table, bank geometry,
+//!   port count) every layer constructs its configuration from, with the
+//!   `c240` preset and what-if variants,
 //! * static classification queries (pipe assignment, register-pair port
 //!   usage, floating point operation class) consumed by the MACS bound
 //!   calculators and by the cycle-level simulator.
@@ -44,6 +48,7 @@
 pub mod asm;
 mod error;
 mod instr;
+pub mod machine;
 mod program;
 mod reg;
 pub mod timing;
@@ -54,6 +59,7 @@ pub use instr::{
     CmpOp, FpOp, InstrClass, Instruction, IntOp, IntOperand, MemRef, Pipe, ScalarReg, Stride,
     VOperand,
 };
+pub use machine::{MachineDescription, ScalarTiming, PRESET_NAMES};
 pub use program::{Loop, Program, ProgramBuilder};
 pub use reg::{AReg, RegPair, SReg, VReg};
 pub use timing::{TimingClass, TimingTable, VectorTiming};

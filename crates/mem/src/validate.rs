@@ -75,6 +75,18 @@ pub enum MemConfigError {
     ZeroCacheLines,
     /// `line_words == 0` in the scalar cache.
     ZeroCacheLineWords,
+    /// Any other variant, labeled with the name of the machine whose
+    /// memory configuration it was found in. This crate is
+    /// machine-agnostic, so it never applies the label itself; the
+    /// simulator's `SimConfig::validate` (which knows the machine name)
+    /// wraps memory errors via [`MemConfigError::for_machine`] so sweep
+    /// error rows name the offending machine.
+    ForMachine {
+        /// The machine label.
+        machine: String,
+        /// The underlying violation.
+        error: Box<MemConfigError>,
+    },
 }
 
 impl fmt::Display for MemConfigError {
@@ -117,11 +129,44 @@ impl fmt::Display for MemConfigError {
             MemConfigError::ZeroCacheLineWords => {
                 write!(f, "scalar cache lines must hold at least one word")
             }
+            MemConfigError::ForMachine { machine, error } => {
+                write!(f, "machine `{machine}`: {error}")
+            }
         }
     }
 }
 
-impl Error for MemConfigError {}
+impl Error for MemConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MemConfigError::ForMachine { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl MemConfigError {
+    /// Wraps the error with a machine label (no-op on an empty label or
+    /// an already-labeled error).
+    pub fn for_machine(self, machine: &str) -> Self {
+        if machine.is_empty() || matches!(self, MemConfigError::ForMachine { .. }) {
+            return self;
+        }
+        MemConfigError::ForMachine {
+            machine: machine.to_string(),
+            error: Box::new(self),
+        }
+    }
+
+    /// The underlying violation with any machine labels stripped — what
+    /// tests and programmatic handlers match on.
+    pub fn root(&self) -> &MemConfigError {
+        match self {
+            MemConfigError::ForMachine { error, .. } => error.root(),
+            other => other,
+        }
+    }
+}
 
 impl ContentionStream {
     /// Checks the stream invariants the solver relies on (odd stride,
@@ -357,6 +402,21 @@ mod tests {
             Err(MemConfigError::ZeroBanks)
         );
         assert_eq!(MemConfig::c240().with_banks(16).banks, 16);
+    }
+
+    #[test]
+    fn machine_labels_wrap_once_and_strip_cleanly() {
+        let err = MemConfigError::ZeroBanks.for_machine("c240-64b");
+        assert!(err.to_string().contains("machine `c240-64b`"));
+        assert!(err.to_string().contains("at least one bank"));
+        assert_eq!(err.root(), &MemConfigError::ZeroBanks);
+        assert!(Error::source(&err).is_some());
+        // Re-labeling and empty labels are no-ops.
+        assert_eq!(err.clone().for_machine("other"), err);
+        assert_eq!(
+            MemConfigError::ZeroBanks.for_machine(""),
+            MemConfigError::ZeroBanks
+        );
     }
 
     #[test]

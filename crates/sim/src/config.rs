@@ -1,44 +1,13 @@
 //! Simulator configuration: machine timing plus model ablation switches.
 
 use c240_isa::timing::TimingTable;
-use c240_mem::{CacheConfig, MemConfig};
+use c240_isa::MachineDescription;
+use c240_mem::{CacheConfig, ContentionConfig, MemConfig};
 
-/// Scalar-side latencies (ASU).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ScalarTiming {
-    /// Issue slot cost of any instruction, in cycles.
-    pub issue: f64,
-    /// Extra cycles on a taken branch (redirect penalty).
-    pub branch_taken_penalty: f64,
-    /// Latency of integer ops and moves.
-    pub int_latency: f64,
-    /// Latency of scalar floating point add/subtract.
-    pub fp_add_latency: f64,
-    /// Latency of scalar floating point multiply.
-    pub fp_mul_latency: f64,
-    /// Latency of scalar floating point divide.
-    pub fp_div_latency: f64,
-}
-
-impl ScalarTiming {
-    /// Plausible C-240 ASU latencies.
-    pub fn c240() -> Self {
-        ScalarTiming {
-            issue: 1.0,
-            branch_taken_penalty: 2.0,
-            int_latency: 1.0,
-            fp_add_latency: 2.0,
-            fp_mul_latency: 3.0,
-            fp_div_latency: 12.0,
-        }
-    }
-}
-
-impl Default for ScalarTiming {
-    fn default() -> Self {
-        ScalarTiming::c240()
-    }
-}
+// `ScalarTiming` lives with the machine descriptions in `c240-isa`;
+// re-exported here because the simulator is where it has always been
+// consumed from.
+pub use c240_isa::ScalarTiming;
 
 /// Full simulator configuration.
 ///
@@ -46,6 +15,11 @@ impl Default for ScalarTiming {
 /// individual machine features for the what-if studies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
+    /// Name of the machine this configuration was derived from (a
+    /// [`MachineDescription`] preset name, `"c240"` by default). Purely
+    /// a label: it names the machine in validation errors and sweep
+    /// rows, and does not affect simulation.
+    pub machine: String,
     /// Vector instruction timing (Table 1).
     pub timing: TimingTable,
     /// Memory system (banks, refresh, contention).
@@ -90,23 +64,55 @@ pub struct SimConfig {
     /// [`Cpu`]: crate::Cpu
     /// [`Cpu::new`]: crate::Cpu::new
     pub cpus: u32,
+    /// CPU ports the machine's memory banks expose — the upper bound a
+    /// co-sim [`Machine`] accepts for [`SimConfig::cpus`] (4 on the
+    /// C-240), checked by [`SimConfig::validate`].
+    ///
+    /// [`Machine`]: crate::Machine
+    pub ports: u32,
 }
 
 impl SimConfig {
     /// The paper's Convex C-240.
     pub fn c240() -> Self {
+        SimConfig::for_machine(&MachineDescription::c240())
+    }
+
+    /// Derives a configuration from a declarative machine description:
+    /// the description supplies the machine half (timing tables, memory
+    /// geometry, chaining rules, port count); the operational knobs
+    /// (tracing, instruction limit, fast-forward, CPU count, background
+    /// contention) take the same defaults [`SimConfig::c240`] has always
+    /// used. `for_machine(&MachineDescription::c240())` *is* `c240()`,
+    /// bit-identically (pinned by `tests/machine_presets.rs`).
+    pub fn for_machine(machine: &MachineDescription) -> Self {
         SimConfig {
-            timing: TimingTable::c240(),
-            mem: MemConfig::c240(),
-            cache: CacheConfig::c240(),
-            scalar: ScalarTiming::c240(),
-            chaining: true,
-            pair_constraint: true,
+            machine: machine.name.clone(),
+            timing: machine.timing.clone(),
+            mem: MemConfig {
+                banks: machine.banks,
+                bank_busy: machine.bank_busy,
+                refresh_period: machine.refresh_period,
+                refresh_len: machine.refresh_len,
+                refresh_enabled: machine.refresh_enabled,
+                words: machine.words as usize,
+                contention: ContentionConfig::idle(),
+            },
+            cache: CacheConfig {
+                lines: machine.cache_lines as usize,
+                line_words: machine.cache_line_words,
+                hit_latency: machine.cache_hit_latency,
+                miss_penalty: machine.cache_miss_penalty,
+            },
+            scalar: machine.scalar,
+            chaining: machine.chaining,
+            pair_constraint: machine.pair_constraint,
             trace: false,
             trace_cap: 65_536,
             max_instructions: 200_000_000,
             fast_forward: true,
             cpus: 1,
+            ports: machine.ports,
         }
     }
 

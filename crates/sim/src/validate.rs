@@ -32,6 +32,15 @@ pub enum ConfigError {
         /// The offending count.
         cpus: u32,
     },
+    /// `cpus` beyond the machine's memory-port count
+    /// ([`SimConfig::ports`]): the chassis has nowhere to attach the
+    /// extra CPUs.
+    MoreCpusThanPorts {
+        /// The requested CPU count.
+        cpus: u32,
+        /// The machine's port count.
+        ports: u32,
+    },
     /// `max_instructions == 0`: the runaway-loop guard would reject
     /// every program immediately.
     ZeroMaxInstructions,
@@ -55,6 +64,17 @@ pub enum ConfigError {
     /// A memory-side constraint (banks, refresh, data space, contention
     /// streams, scalar cache).
     Mem(MemConfigError),
+    /// Any other variant, labeled with the machine it was found on.
+    /// [`SimConfig::validate`] wraps every non-memory error this way
+    /// when the configuration carries a machine name (memory errors are
+    /// labeled inside [`MemConfigError`] instead), so sweep error rows
+    /// name the offending machine.
+    ForMachine {
+        /// The machine label ([`SimConfig::machine`]).
+        machine: String,
+        /// The underlying violation.
+        error: Box<ConfigError>,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -82,7 +102,14 @@ impl fmt::Display for ConfigError {
                 "vector timing parameter {field} of class {class:?} is {value}; \
                  it must be finite and >= 0"
             ),
+            ConfigError::MoreCpusThanPorts { cpus, ports } => write!(
+                f,
+                "CPU count {cpus} exceeds the machine's {ports} memory ports"
+            ),
             ConfigError::Mem(e) => write!(f, "memory configuration: {e}"),
+            ConfigError::ForMachine { machine, error } => {
+                write!(f, "machine `{machine}`: {error}")
+            }
         }
     }
 }
@@ -91,7 +118,31 @@ impl Error for ConfigError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ConfigError::Mem(e) => Some(e),
+            ConfigError::ForMachine { error, .. } => Some(error),
             _ => None,
+        }
+    }
+}
+
+impl ConfigError {
+    /// Wraps the error with a machine label (no-op on an empty label or
+    /// an already-labeled error).
+    pub fn for_machine(self, machine: &str) -> Self {
+        if machine.is_empty() || matches!(self, ConfigError::ForMachine { .. }) {
+            return self;
+        }
+        ConfigError::ForMachine {
+            machine: machine.to_string(),
+            error: Box::new(self),
+        }
+    }
+
+    /// The underlying violation with any machine labels stripped — what
+    /// tests and programmatic handlers match on.
+    pub fn root(&self) -> &ConfigError {
+        match self {
+            ConfigError::ForMachine { error, .. } => error.root(),
+            other => other,
         }
     }
 }
@@ -110,13 +161,28 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns the first violated constraint as a [`ConfigError`].
+    /// Returns the first violated constraint as a [`ConfigError`],
+    /// labeled with [`SimConfig::machine`] so the message (and any sweep
+    /// error row built from it) names the offending machine.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        self.validate_inner().map_err(|e| match e {
+            ConfigError::Mem(m) => ConfigError::Mem(m.for_machine(&self.machine)),
+            other => other.for_machine(&self.machine),
+        })
+    }
+
+    fn validate_inner(&self) -> Result<(), ConfigError> {
         if self.cpus == 0 {
             return Err(ConfigError::ZeroCpus);
         }
         if self.cpus > MAX_CPUS {
             return Err(ConfigError::TooManyCpus { cpus: self.cpus });
+        }
+        if self.cpus > self.ports {
+            return Err(ConfigError::MoreCpusThanPorts {
+                cpus: self.cpus,
+                ports: self.ports,
+            });
         }
         if self.max_instructions == 0 {
             return Err(ConfigError::ZeroMaxInstructions);
@@ -163,6 +229,12 @@ impl SimConfig {
         if n > MAX_CPUS {
             return Err(ConfigError::TooManyCpus { cpus: n });
         }
+        if n > self.ports {
+            return Err(ConfigError::MoreCpusThanPorts {
+                cpus: n,
+                ports: self.ports,
+            });
+        }
         self.cpus = n;
         Ok(self)
     }
@@ -187,15 +259,47 @@ mod tests {
     fn cpu_and_instruction_limits_are_checked() {
         let mut c = SimConfig::c240();
         c.cpus = 0;
-        assert_eq!(c.validate(), Err(ConfigError::ZeroCpus));
+        assert_eq!(c.validate().unwrap_err().root(), &ConfigError::ZeroCpus);
         c.cpus = MAX_CPUS + 1;
         assert_eq!(
-            c.validate(),
-            Err(ConfigError::TooManyCpus { cpus: MAX_CPUS + 1 })
+            c.validate().unwrap_err().root(),
+            &ConfigError::TooManyCpus { cpus: MAX_CPUS + 1 }
         );
+        // More CPUs than the chassis has memory ports (the C-240 has 4).
+        c.cpus = 5;
+        let err = c.validate().unwrap_err();
+        assert_eq!(
+            err.root(),
+            &ConfigError::MoreCpusThanPorts { cpus: 5, ports: 4 }
+        );
+        assert!(err.to_string().contains("4 memory ports"));
         let mut c = SimConfig::c240();
         c.max_instructions = 0;
-        assert_eq!(c.validate(), Err(ConfigError::ZeroMaxInstructions));
+        assert_eq!(
+            c.validate().unwrap_err().root(),
+            &ConfigError::ZeroMaxInstructions
+        );
+    }
+
+    #[test]
+    fn validation_errors_name_the_machine() {
+        let mut c = SimConfig::c240();
+        c.cpus = 0;
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::ForMachine { ref machine, .. } if machine == "c240"));
+        assert!(err.to_string().contains("machine `c240`"));
+        assert!(Error::source(&err).is_some());
+        // Memory-side errors carry the label inside MemConfigError.
+        let mut c = SimConfig::c240();
+        c.machine = "dual-port".into();
+        c.mem.banks = 0;
+        let message = c.validate().unwrap_err().to_string();
+        assert!(message.contains("machine `dual-port`"), "{message}");
+        // An unlabeled config (programmatic construction) stays unwrapped.
+        let mut c = SimConfig::c240();
+        c.machine = String::new();
+        c.cpus = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCpus));
     }
 
     #[test]
@@ -203,11 +307,11 @@ mod tests {
         let mut c = SimConfig::c240();
         c.scalar.fp_div_latency = f64::NAN;
         assert!(matches!(
-            c.validate(),
-            Err(ConfigError::BadScalarTiming {
+            c.validate().unwrap_err().root(),
+            ConfigError::BadScalarTiming {
                 field: "fp_div_latency",
                 ..
-            })
+            }
         ));
         let mut c = SimConfig::c240();
         let mut t = c.timing.get(TimingClass::Mul);
@@ -215,7 +319,7 @@ mod tests {
         c.timing.set(TimingClass::Mul, t);
         let err = c.validate().unwrap_err();
         assert!(matches!(
-            err,
+            err.root(),
             ConfigError::BadVectorTiming {
                 class: TimingClass::Mul,
                 field: "Z",
@@ -234,8 +338,8 @@ mod tests {
             },
         );
         assert!(matches!(
-            c.validate(),
-            Err(ConfigError::BadVectorTiming { field: "X", .. })
+            c.validate().unwrap_err().root(),
+            ConfigError::BadVectorTiming { field: "X", .. }
         ));
     }
 
@@ -244,14 +348,17 @@ mod tests {
         let mut c = SimConfig::c240();
         c.mem.banks = 0;
         let err = c.validate().unwrap_err();
-        assert_eq!(err, ConfigError::Mem(MemConfigError::ZeroBanks));
+        match &err {
+            ConfigError::Mem(m) => assert_eq!(m.root(), &MemConfigError::ZeroBanks),
+            other => panic!("expected a Mem error, got {other:?}"),
+        }
         assert!(Error::source(&err).is_some());
         let mut c = SimConfig::c240();
         c.cache.lines = 0;
-        assert_eq!(
-            c.validate(),
-            Err(ConfigError::Mem(MemConfigError::ZeroCacheLines))
-        );
+        match c.validate().unwrap_err() {
+            ConfigError::Mem(m) => assert_eq!(m.root(), &MemConfigError::ZeroCacheLines),
+            other => panic!("expected a Mem error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -2,10 +2,15 @@
 //! C-240? The bounds hierarchy doubles as an architect's tool — the
 //! paper's conclusion suggests exactly this use.
 //!
+//! Whole machines come from declarative [`MachineDescription`] presets
+//! (DESIGN.md §15); single-feature ablations toggle switches on the
+//! derived configs.
+//!
 //! ```text
 //! cargo run --release --example machine_design
 //! ```
 
+use c240_isa::MachineDescription;
 use c240_mem::ContentionConfig;
 use c240_sim::{Cpu, SimConfig};
 use lfk_suite::by_id;
@@ -26,8 +31,20 @@ fn main() {
     println!("LFK1 on C-240 design variants (CPF):\n");
     println!("{:<34} {:>8} {:>9}", "machine", "t_MACS", "measured");
 
+    let wide = MachineDescription::c240_64banks();
+    let dual = MachineDescription::dual_port();
     let variants: Vec<(&str, SimConfig, ChimeConfig)> = vec![
         ("C-240 (paper)", SimConfig::c240(), ChimeConfig::c240()),
+        (
+            "64-bank chassis (preset c240-64b)",
+            SimConfig::for_machine(&wide),
+            ChimeConfig::for_machine(&wide),
+        ),
+        (
+            "2-port variant (preset dual-port)",
+            SimConfig::for_machine(&dual),
+            ChimeConfig::for_machine(&dual),
+        ),
         (
             "no tailgating bubbles (Eq. 5)",
             SimConfig::c240().without_bubbles(),

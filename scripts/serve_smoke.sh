@@ -244,3 +244,65 @@ print("serve_smoke: PASS — 12 points answered once each "
       f"deduplicated, {len(snapshots)} metrics snapshots journaled, "
       "Prometheus counters reconcile with the summary")
 EOF
+
+echo "serve_smoke: phase 3 — mixed-machine grid, per-machine journal key separation"
+# 12 points: four kernels, each evaluated on the base C-240 and on the
+# two non-C-240 presets. One journal holds all three machines; the
+# machine name is folded into every content-addressed point key, so the
+# per-machine rows must never collide.
+GRID="$WORK/grid_machines.ndjson"
+JOURNAL="$WORK/journal_machines.ndjson"
+{
+    for k in 1 2 3 12; do
+        echo "{\"id\":\"lfk$k\",\"kernel\":$k}"
+        echo "{\"id\":\"lfk$k@c240-64b\",\"kernel\":$k,\"machine\":\"c240-64b\"}"
+        echo "{\"id\":\"lfk$k@dual-port\",\"kernel\":$k,\"machine\":\"dual-port\"}"
+    done
+} > "$GRID"
+start_server
+CLEANUP="$SERVER"
+: > "$WORK/out3.ndjson"
+feed "$ADDR" "$WORK/out3.ndjson" close &
+FEEDER=$!
+CLEANUP="$SERVER $FEEDER"
+wait "$FEEDER"
+CLEANUP="$SERVER"
+kill -9 "$SERVER" 2>/dev/null || true
+wait "$SERVER" 2>/dev/null || true
+CLEANUP=""
+
+python3 - "$WORK" <<'EOF'
+import json, sys
+work = sys.argv[1]
+
+rows = [json.loads(l) for l in open(f"{work}/out3.ndjson") if l.strip()]
+summary = rows.pop()
+assert summary["schema"] == "c240-sweep-summary/v1", summary
+assert summary["ok"] == 12 and summary["invalid"] == 0, summary
+assert len(rows) == 12, f"expected 12 rows, got {len(rows)}"
+
+# Every row names the machine it actually ran on.
+machines = {r["id"]: r["machine"] for r in rows}
+for k in (1, 2, 3, 12):
+    assert machines[f"lfk{k}"] == "c240", machines
+    assert machines[f"lfk{k}@c240-64b"] == "c240-64b", machines
+    assert machines[f"lfk{k}@dual-port"] == "dual-port", machines
+
+# Per-machine key separation: 12 distinct keys, and within each kernel
+# the three machines' keys are pairwise distinct.
+keys = {r["id"]: r["key"] for r in rows}
+assert len(set(keys.values())) == 12, "point keys collided across machines"
+for k in (1, 2, 3, 12):
+    trio = {keys[f"lfk{k}"], keys[f"lfk{k}@c240-64b"], keys[f"lfk{k}@dual-port"]}
+    assert len(trio) == 3, f"kernel {k}: machine not folded into the key"
+
+# The journal checkpoints the same 12 keys, once each.
+journal = [json.loads(l) for l in open(f"{work}/journal_machines.ndjson") if l.strip()]
+assert journal[0]["schema"] == "c240-sweep-journal/v1", journal[0]
+records = [r for r in journal[1:] if "key" in r]
+jkeys = [r["key"] for r in records]
+assert sorted(jkeys) == sorted(keys.values()), "journal keys diverge from served keys"
+assert len(set(jkeys)) == 12, "journal contains duplicate point keys"
+print("serve_smoke: PASS — mixed-machine grid served 12/12 ok with "
+      "per-machine journal key separation across c240, c240-64b, dual-port")
+EOF
