@@ -7,7 +7,7 @@
 //!            [--backoff-cap-ms N] [--machine PRESET]
 //!            [--listen ADDR | --unix PATH]
 //!            [--metrics] [--trace-out FILE] [--spans-out FILE]
-//!            [--snapshot-every N]
+//!            [--snapshot-every N] [--roofline]
 //! ```
 //!
 //! `--serve` turns the binary into the fault-tolerant sweep server
@@ -27,6 +27,14 @@
 //! `--trace-out` additionally writes a Chrome `trace_event` JSON file
 //! per stream (open it in Perfetto or `chrome://tracing`); `--spans-out`
 //! writes the same spans as NDJSON. Either implies `--metrics`.
+//!
+//! `--roofline` stamps every healthy row with a `roofline` object
+//! (schema `c240-roofline/v1`, DESIGN.md §16): operational intensity,
+//! the resolved machine's ceilings, the analytic memory/compute
+//! `bound_class`, and — on probed single-CPU rows — the cross-check
+//! verdict against the measured stall taxonomy. With `--metrics` it
+//! also feeds `macs_points_by_bound_class{class}` and the per-machine
+//! ceiling gauges.
 //!
 //! Runs every LFK kernel once under the counting probe (in parallel on
 //! the [`macs_core::pool`]), times the LFK1 simulation with and without
@@ -241,6 +249,7 @@ fn parse_serve_args(
             "--listen" => listen = Some(value(&mut it, flag)?.clone()),
             "--unix" => unix = Some(PathBuf::from(value(&mut it, flag)?)),
             "--metrics" => metrics = true,
+            "--roofline" => opts.roofline = true,
             "--trace-out" => trace_out = Some(PathBuf::from(value(&mut it, flag)?)),
             "--spans-out" => spans_out = Some(PathBuf::from(value(&mut it, flag)?)),
             "--snapshot-every" => snapshot_every = number(value(&mut it, flag)?, flag)?,

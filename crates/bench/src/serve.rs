@@ -42,15 +42,19 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use c240_isa::{MachineDescription, PRESET_NAMES};
 use c240_obs::json::Json;
 use c240_obs::span::{spans_to_chrome, spans_to_ndjson};
 use c240_obs::{Metrics, Span, StallCause, SweepOutcomes, Tracer};
-use c240_sim::{Cpu, FfStats, Machine, SimConfig};
+use c240_sim::{Cpu, FfStats, Machine, SimConfig, StallRollup};
 use macs_core::supervise::{
     supervise, supervise_observed, FailureKind, RetryPolicy, SuperviseEvent,
 };
 use macs_core::sweep::{parse_point, Fault, Journal, ProtocolError, SweepPoint, SWEEP_ROW_SCHEMA};
-use macs_core::{measure_probed, Measurement};
+use macs_core::{
+    compiled_intensity, measure_probed, measured_class, operational_intensity, ChimeConfig,
+    KernelBounds, MachineCeilings, Measurement, RooflineVerdict, ROOFLINE_SCHEMA,
+};
 
 /// Ticks per simulated cycle: stall-cycle metrics are exported as
 /// integer *ticks* (1/20 cycle) because the simulator quantizes all
@@ -121,6 +125,13 @@ pub struct ServeOptions {
     /// provenance). `None` (the default) compiles down to the pre-obs
     /// hot path: no spans, no metrics, rows without a `trace` field.
     pub obs: Option<ServeObs>,
+    /// Stamp every healthy row with a `roofline` object (DESIGN.md §16):
+    /// both operational intensities, the resolved machine's ceilings,
+    /// the analytic `bound_class`, and the stall-taxonomy cross-check
+    /// verdict. Off by default, keeping unflagged rows bit-identical to
+    /// the pre-roofline output. Roofline fields are pure functions of
+    /// simulated quantities, so journaled rows resume bit-identically.
+    pub roofline: bool,
 }
 
 impl Default for ServeOptions {
@@ -135,6 +146,7 @@ impl Default for ServeOptions {
             journal: None,
             resume: None,
             obs: None,
+            roofline: false,
         }
     }
 }
@@ -227,6 +239,10 @@ struct RunTelemetry {
     ff: FfStats,
     stalls: c240_obs::StallCounters,
     busy_cycles: f64,
+    /// Memory-vs-compute occupancy of the probed run, for the roofline
+    /// cross-check. `None` on the (unprobed) multi-CPU path and when
+    /// roofline stamping is off.
+    rollup: Option<StallRollup>,
 }
 
 /// Per-row wall-clock provenance, attached as the row's `trace` object
@@ -312,7 +328,7 @@ pub fn eval_point(
     deadline: Option<Duration>,
     retry: &RetryPolicy,
 ) -> Evaluated {
-    eval_point_observed(point, base, deadline, retry, None)
+    eval_point_observed(point, base, deadline, retry, None, false)
 }
 
 /// [`eval_point`] with the observability plane attached. When `obs` is
@@ -322,12 +338,18 @@ pub fn eval_point(
 /// the retry/watchdog/fast-forward/stall counters of `plane.metrics`,
 /// and stamps the returned row with a `trace` provenance object. With
 /// `None` this is exactly [`eval_point`].
+///
+/// `roofline` additionally stamps healthy rows with the roofline
+/// object of [`ServeOptions::roofline`] and, when metrics are on,
+/// feeds the `macs_points_by_bound_class` counter and the per-machine
+/// ceiling gauges.
 pub fn eval_point_observed(
     point: &SweepPoint,
     base: &SimConfig,
     deadline: Option<Duration>,
     retry: &RetryPolicy,
     obs: Option<(&ServeObs, u64)>,
+    roofline: bool,
 ) -> Evaluated {
     let key = point.key();
     let point_span = obs.map(|(o, parent)| {
@@ -365,7 +387,32 @@ pub fn eval_point_observed(
         Ok(cfg) => cfg,
         Err(e) => {
             prov.validate_ns = vspan.map(Span::end);
-            return reject(point_span, &prov, "unknown_machine", &e.to_string());
+            // Structured sibling of the prose message: the resolvable
+            // preset names, so sweep drivers can self-correct without
+            // parsing the error text.
+            let row = error_row(
+                point,
+                &key,
+                "unknown_machine",
+                &e.to_string(),
+                0,
+                &[],
+                false,
+            )
+            .field(
+                "known_machines",
+                Json::Arr(PRESET_NAMES.iter().map(|&n| Json::from(n)).collect()),
+            );
+            return finish_eval(
+                point_span,
+                obs,
+                Evaluated {
+                    row,
+                    class: PointClass::Invalid,
+                    retried: false,
+                },
+                &prov,
+            );
         }
     };
     let checked = checked.map(|k| cfg.validate().map(|()| k).map_err(|e| e.to_string()));
@@ -391,6 +438,27 @@ pub fn eval_point_observed(
     let fault = point.inject;
     let cpus = cfg.cpus as usize;
     let machine = cfg.machine.clone();
+
+    // Roofline context (DESIGN.md §16): ceilings read off the resolved
+    // machine's geometry with the point's bank/refresh overrides folded
+    // in, plus the kernel's two operational intensities. Everything here
+    // is a pure function of the configuration and the program — no
+    // wall-clock — so stamped rows journal and resume bit-identically.
+    let roofline_ctx = roofline.then(|| {
+        let mut md = MachineDescription::preset(&machine).unwrap_or_else(MachineDescription::c240);
+        md.banks = cfg.mem.banks;
+        md.bank_busy = cfg.mem.bank_busy;
+        md.refresh_enabled = cfg.mem.refresh_enabled;
+        let ceilings = MachineCeilings::of(&md, cfg.cpus);
+        let bounds = KernelBounds::compute(
+            &format!("LFK{}", point.kernel),
+            kernel.ma(),
+            &program,
+            &ChimeConfig::for_machine(&md),
+        );
+        let i_ma = operational_intensity(&bounds.ma);
+        (ceilings, bounds, i_ma)
+    });
 
     // Simulate: the supervised run, covering every attempt and backoff.
     // Attempt spans are opened by the run closure on the watchdog's
@@ -427,6 +495,7 @@ pub fn eval_point_observed(
                 ff: cpu.ff_stats(),
                 stalls: probe.totals(),
                 busy_cycles: probe.busy_total(),
+                rollup: roofline.then(|| StallRollup::of_probe(&probe)),
             };
             if let Some(s) = attempt_span.as_mut() {
                 s.arg("ff_skipped_instructions", telemetry.ff.skipped_instructions);
@@ -500,20 +569,62 @@ pub fn eval_point_observed(
                     .counter("macs_busy_ticks_total", &[])
                     .add(ticks(telemetry.busy_cycles));
             }
+            let mut row = base_row(point, &key)
+                .field("status", "ok")
+                .field("machine", machine.as_str())
+                .field("attempts", s.attempts)
+                .field("cpus", cpus as u64)
+                .field("passes", passes as f64)
+                .field("cycles", m.cycles)
+                .field("instructions", m.instructions)
+                .field("iterations", m.iterations)
+                .field("cpl", m.cpl)
+                .field("cpf", m.cpf)
+                .field("mflops", m.mflops)
+                .field("memory_wait_cpl", m.memory_wait_cpl);
+            if let Some((ceilings, bounds, i_ma)) = &roofline_ctx {
+                let i = compiled_intensity(bounds);
+                let rp = ceilings.place(i);
+                let verdict = match &telemetry.rollup {
+                    Some(r) => RooflineVerdict::check(rp.bound_class, r),
+                    None => RooflineVerdict::Unchecked,
+                };
+                if let Some((o, _)) = obs {
+                    let cpus_label = ceilings.cpus.to_string();
+                    let labels = [("machine", machine.as_str()), ("cpus", cpus_label.as_str())];
+                    o.metrics
+                        .counter(
+                            "macs_points_by_bound_class",
+                            &[("class", rp.bound_class.key())],
+                        )
+                        .inc();
+                    o.metrics
+                        .gauge("macs_roofline_peak_mflops", &labels)
+                        .set(ceilings.peak_mflops.round() as i64);
+                    o.metrics
+                        .gauge("macs_roofline_bandwidth_milliwords_per_cycle", &labels)
+                        .set((ceilings.bandwidth_words_per_cycle * 1000.0).round() as i64);
+                }
+                let mut rf = Json::obj()
+                    .field("schema", ROOFLINE_SCHEMA)
+                    .field("intensity_ma", *i_ma)
+                    .field("intensity", i)
+                    .field("ridge", ceilings.ridge)
+                    .field("peak_mflops", ceilings.peak_mflops)
+                    .field("bandwidth_mwords", ceilings.bandwidth_mwords())
+                    .field("attainable_mflops", rp.attainable_mflops)
+                    .field("bound_class", rp.bound_class.key())
+                    .field("verdict", verdict.key());
+                if let Some(r) = &telemetry.rollup {
+                    rf = rf.field("measured_class", measured_class(r).key());
+                }
+                if let Some(finding) = verdict.finding(&rp, ceilings.ridge) {
+                    rf = rf.field("finding", finding.to_string());
+                }
+                row = row.field("roofline", rf);
+            }
             Evaluated {
-                row: base_row(point, &key)
-                    .field("status", "ok")
-                    .field("machine", machine.as_str())
-                    .field("attempts", s.attempts)
-                    .field("cpus", cpus as u64)
-                    .field("passes", passes as f64)
-                    .field("cycles", m.cycles)
-                    .field("instructions", m.instructions)
-                    .field("iterations", m.iterations)
-                    .field("cpl", m.cpl)
-                    .field("cpf", m.cpf)
-                    .field("mflops", m.mflops)
-                    .field("memory_wait_cpl", m.memory_wait_cpl),
+                row,
                 class: PointClass::Ok,
                 retried,
             }
@@ -734,6 +845,7 @@ pub fn serve(
             let base = opts.base.clone();
             let retry = opts.retry;
             let deadline = opts.deadline;
+            let roofline = opts.roofline;
             let worker_obs = obs.map(|o| {
                 (
                     o.clone(),
@@ -755,6 +867,7 @@ pub fn serve(
                     point_deadline,
                     &retry,
                     worker_obs.as_ref().map(|(o, _, _)| (o, sweep_id)),
+                    roofline,
                 );
                 if let Some((_, _, busy)) = worker_obs.as_ref() {
                     busy.add(-1);

@@ -232,6 +232,58 @@ fn observed_sweep_produces_trace_metrics_and_provenance() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// With both planes on, the roofline annotations surface on the metrics
+/// registry: a bound-class counter that reconciles with the served rows
+/// and per-(machine, cpus) ceiling gauges.
+#[test]
+fn roofline_sweep_registers_bound_class_counter_and_ceiling_gauges() {
+    let obs = ServeObs::default();
+    let opts = ServeOptions {
+        workers: 2,
+        roofline: true,
+        obs: Some(obs.clone()),
+        ..ServeOptions::default()
+    };
+    let input = "{\"id\":\"k1\",\"kernel\":1,\"passes\":4}\n\
+                 {\"id\":\"k7\",\"kernel\":7,\"passes\":4}\n";
+    let mut out = Vec::new();
+    serve(input.as_bytes(), &mut out, &opts).expect("serve succeeds");
+
+    let rows: Vec<Json> = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap())
+        .collect();
+    let classes: Vec<&str> = rows
+        .iter()
+        .filter_map(|r| r.get("roofline"))
+        .map(|rf| rf.get("bound_class").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(classes.len(), 2, "both ok rows are annotated");
+
+    let prom = obs.metrics.render_prometheus();
+    let by_class = |c: &str| {
+        sample(
+            &prom,
+            &format!("macs_points_by_bound_class{{class=\"{c}\"}}"),
+        )
+    };
+    let counted = by_class("memory").unwrap_or(0) + by_class("compute").unwrap_or(0);
+    assert_eq!(counted, 2, "the counter reconciles with the served rows");
+    assert_eq!(
+        sample(
+            &prom,
+            "macs_roofline_peak_mflops{machine=\"c240\",cpus=\"1\"}"
+        ),
+        Some(50),
+        "the 1-CPU peak gauge carries the machine's 50 MFLOPS roof"
+    );
+    assert!(
+        prom.contains("macs_roofline_bandwidth_milliwords_per_cycle{machine=\"c240\",cpus=\"1\"}"),
+        "the bandwidth gauge is registered"
+    );
+}
+
 /// The default (obs-less) path must not change: rows carry no `trace`
 /// field and are bit-identical to the pre-observability wire format.
 #[test]

@@ -338,6 +338,16 @@ fn machine_presets_serve_with_distinct_keys_and_labels() {
     assert_eq!(field_str(ghost, "error_kind"), Some("unknown_machine"));
     let message = field_str(ghost, "message").expect("error rows carry a message");
     assert!(message.contains("c241") && message.contains("c240-64b"));
+    // The valid preset names ride along as a structured field, so a
+    // client can self-correct without parsing prose.
+    let known: Vec<&str> = ghost
+        .get("known_machines")
+        .and_then(Json::as_arr)
+        .expect("unknown_machine rows list the valid presets")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(known, c240_isa::PRESET_NAMES);
     // Same kernel on three machines: three distinct journal keys, so
     // per-machine results coexist in one journal without collisions.
     let keys: std::collections::HashSet<&str> = rows
@@ -352,6 +362,84 @@ fn machine_presets_serve_with_distinct_keys_and_labels() {
     let base_cycles = field_num(row_by_id(&rows, "base"), "cycles").unwrap();
     let wide_cycles = field_num(row_by_id(&rows, "wide"), "cycles").unwrap();
     assert!(wide_cycles <= base_cycles, "{wide_cycles} vs {base_cycles}");
+}
+
+#[test]
+fn roofline_flag_annotates_rows_and_its_absence_changes_nothing() {
+    let input = concat!(
+        "{\"id\":\"one\",\"kernel\":1}\n",
+        "{\"id\":\"four\",\"kernel\":1,\"config\":{\"cpus\":4}}\n",
+    );
+    let (rows, _) = serve_once(input, &["--roofline"]);
+    // A probed 1-CPU row carries the full provenance: analytic class,
+    // measured stall-taxonomy class, and a cross-check verdict.
+    let rf = row_by_id(&rows, "one")
+        .get("roofline")
+        .expect("--roofline annotates ok rows");
+    assert_eq!(
+        rf.get("schema").and_then(Json::as_str),
+        Some(macs_core::ROOFLINE_SCHEMA)
+    );
+    assert_eq!(rf.get("verdict").and_then(Json::as_str), Some("agree"));
+    assert_eq!(
+        rf.get("bound_class").and_then(Json::as_str),
+        rf.get("measured_class").and_then(Json::as_str),
+        "agree means the two classifications match"
+    );
+    for key in ["intensity", "ridge", "peak_mflops", "attainable_mflops"] {
+        assert!(
+            rf.get(key).and_then(Json::as_f64).is_some(),
+            "missing {key}"
+        );
+    }
+    // Multi-CPU co-sim rows are not probed, so the verdict is honest
+    // about it rather than inventing a measured class.
+    let rf4 = row_by_id(&rows, "four")
+        .get("roofline")
+        .expect("co-sim rows are annotated too");
+    assert_eq!(rf4.get("verdict").and_then(Json::as_str), Some("unchecked"));
+    assert!(rf4.get("measured_class").is_none());
+    // Without the flag the field is absent and rows stay bit-identical
+    // to the in-process evaluation path (no opt-out drift).
+    let (plain, _) = serve_once(input, &[]);
+    for row in &plain {
+        assert!(row.get("roofline").is_none(), "flagless rows are unchanged");
+    }
+    let point = parse_point("{\"id\":\"one\",\"kernel\":1}").expect("valid line");
+    let direct = eval_point(&point, &SimConfig::c240(), None, &RetryPolicy::default());
+    assert_eq!(row_by_id(&plain, "one").to_string(), direct.row.to_string());
+}
+
+/// Roofline annotations are pure functions of simulated quantities, so a
+/// journaled row written with `--roofline` resumes verbatim — the
+/// annotation never breaks checkpoint/resume bit-identity.
+#[test]
+fn roofline_rows_resume_verbatim_from_the_journal() {
+    let dir = std::env::temp_dir().join(format!("macs-serve-roofline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal = dir.join("journal.ndjson");
+    let journal_arg = journal.to_str().expect("utf-8 temp path");
+
+    let input = "{\"id\":\"p\",\"kernel\":7}\n";
+    let (first, _) = serve_once(input, &["--roofline", "--journal", journal_arg]);
+    let (second, summary) = serve_once(
+        input,
+        &[
+            "--roofline",
+            "--journal",
+            journal_arg,
+            "--resume",
+            journal_arg,
+        ],
+    );
+    assert_eq!(field_num(&summary, "resumed"), Some(1.0));
+    assert_eq!(
+        row_by_id(&first, "p").to_string(),
+        row_by_id(&second, "p").to_string(),
+        "resumed roofline rows are byte-for-byte the journaled ones"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -78,6 +78,20 @@ pub enum Finding {
         /// `t_MACS / t_p`.
         explained: f64,
     },
+    /// The analytic roofline classification (intensity vs ridge,
+    /// DESIGN.md §16) disagrees with the measured stall-taxonomy side —
+    /// either the MA intensity misrepresents the compiled code's traffic
+    /// or an unmodeled hazard dominates the run.
+    RooflineMismatch {
+        /// What the intensity-vs-ridge rule concluded.
+        analytic: crate::roofline::BoundClass,
+        /// What the measured occupancy rollup concluded.
+        measured: crate::roofline::BoundClass,
+        /// The kernel's operational intensity, in flops per word.
+        intensity: f64,
+        /// The machine's ridge point, in flops per word.
+        ridge: f64,
+    },
 }
 
 impl fmt::Display for Finding {
@@ -131,6 +145,17 @@ impl fmt::Display for Finding {
                 "unmodeled effects dominate: MACS explains only {:.1}% (outer-loop overhead, \
                  short vectors, scalar code)",
                 100.0 * explained
+            ),
+            Finding::RooflineMismatch {
+                analytic,
+                measured,
+                intensity,
+                ridge,
+            } => write!(
+                f,
+                "roofline cross-check disagrees: intensity {intensity:.2} flops/word vs ridge \
+                 {ridge:.2} says {analytic}-bound, but the measured stall taxonomy says \
+                 {measured}-bound"
             ),
         }
     }
@@ -404,6 +429,12 @@ mod tests {
             },
             Finding::ReductionBottleneck { drain_cpl: 40.0 },
             Finding::UnmodeledEffects { explained: 0.4 },
+            Finding::RooflineMismatch {
+                analytic: crate::roofline::BoundClass::Compute,
+                measured: crate::roofline::BoundClass::Memory,
+                intensity: 2.4,
+                ridge: 2.0,
+            },
         ] {
             assert!(!f.to_string().is_empty());
         }

@@ -67,6 +67,7 @@ pub mod overhead;
 pub mod pool;
 mod report;
 mod reschedule;
+mod roofline;
 mod runreport;
 pub mod supervise;
 pub mod sweep;
@@ -87,6 +88,10 @@ pub use overhead::{analyze_overhead, segmented_macs_cpl, OverheadModel};
 pub use pool::{parallel_map, threads};
 pub use report::{hierarchy_figure, TextTable};
 pub use reschedule::reschedule_for_chimes;
+pub use roofline::{
+    compiled_intensity, measured_class, operational_intensity, BoundClass, MachineCeilings,
+    RooflinePoint, RooflineVerdict, ROOFLINE_SCHEMA,
+};
 pub use runreport::{RunReport, RUN_REPORT_SCHEMA};
 pub use supervise::{
     supervise, supervise_observed, FailureKind, RetryPolicy, SuperviseEvent, Supervised,

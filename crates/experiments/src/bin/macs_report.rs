@@ -7,7 +7,7 @@
 //!             [--kernels a,b,..] [--ablations t1,t2,..] [--shard I/N]
 //!
 //! ARTIFACT: table1 table2 table3 table4 table5 fig1 fig2 fig3 lfk1
-//!           cosim sweep-grid all   (default: all)
+//!           cosim roofline sweep-grid all   (default: all)
 //! --machine PRESET: generate every artifact for this machine preset
 //!                  (c240, c240-64b, dual-port; default c240). For
 //!                  `sweep-grid`, stamps the preset onto every request
@@ -32,6 +32,16 @@
 //! `sweep-grid` prints wire-protocol request lines for the kernels ×
 //! ablations grid — pipe them into `macs-bench --serve`. It is not part
 //! of `all` (it writes requests, not artifacts).
+//!
+//! `roofline` (DESIGN.md §16) places the kernels × ablations × CPU
+//! counts grid under the machine's roof, cross-checking every analytic
+//! `bound_class` against the probed stall taxonomy. It is explicit-only
+//! (150 measured runs — not part of `all`); with `--csv DIR` it also
+//! writes `roofline.csv` and `roofline.json` (schema `c240-roofline/v1`)
+//! into DIR, and `--cpus N` restricts the grid to one CPU count. The
+//! process exits non-zero if any *baseline* row's classification
+//! disagrees with the measurement — the artifact doubles as the
+//! cross-check gate CI runs per preset.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -41,7 +51,9 @@ use c240_obs::json::Json;
 use c240_sim::{Cpu, SimConfig};
 use macs_core::{ChimeConfig, RunReport, RUN_REPORT_SCHEMA};
 use macs_experiments::cosim::{cosim_csv, cosim_table, run_cosim, Mix};
-use macs_experiments::{figures, tables, worked_example, Ablation, GridSpec, Suite};
+use macs_experiments::{
+    figures, run_roofline, run_roofline_with, tables, worked_example, Ablation, GridSpec, Suite,
+};
 
 struct Args {
     artifacts: Vec<String>,
@@ -143,14 +155,14 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("--shard {spec}: expected I/N with I < N"))?;
             }
             "--help" | "-h" => return Err(
-                "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|cosim|sweep-grid|all]... \
+                "usage: macs-report [table1..table5|fig1..fig3|lfk1|asm|cosim|roofline|sweep-grid|all]... \
                      [--machine PRESET] [--cpus N] [--mix lockstep|mixed] [--csv DIR] \
                      [--json PATH] [--trace-out DIR] [--kernels a,b,..] \
                      [--ablations t1,t2,..] [--shard I/N]"
                     .to_string(),
             ),
             known @ ("table1" | "table2" | "table3" | "table4" | "table5" | "fig1" | "fig2"
-            | "fig3" | "lfk1" | "asm" | "cosim" | "sweep-grid" | "all") => {
+            | "fig3" | "lfk1" | "asm" | "cosim" | "roofline" | "sweep-grid" | "all") => {
                 artifacts.push(known.to_string())
             }
             other => return Err(format!("unknown artifact `{other}` (try --help)")),
@@ -337,6 +349,46 @@ fn main() -> ExitCode {
             csv_outputs.push((format!("cosim_{mix}.csv"), cosim_csv(&report)));
         }
     }
+    // Explicit-only like sweep-grid: the grid is 150 measured runs, so it
+    // never rides along with `all`.
+    let mut roofline_failed = false;
+    if args.artifacts.iter().any(|a| a == "roofline") {
+        eprintln!(
+            "placing the kernels x ablations x CPUs grid under the {} roof...",
+            args.machine.name
+        );
+        let report = match args.cpus {
+            Some(n) => run_roofline_with(&args.machine, &[n]),
+            None => run_roofline(&args.machine),
+        };
+        println!("{}", report.table().render());
+        for row in report.baseline_disagreements() {
+            roofline_failed = true;
+            let ridge = report
+                .ceilings
+                .iter()
+                .find(|c| c.cpus == row.cpus)
+                .map(|c| c.ridge)
+                .unwrap_or(f64::NAN);
+            match row.verdict.finding(&row.point, ridge) {
+                Some(finding) => eprintln!("LFK{} x{}: {finding}", row.kernel, row.cpus),
+                None => unreachable!("baseline_disagreements only yields disagreements"),
+            }
+        }
+        csv_outputs.push(("roofline.csv".to_string(), report.to_csv()));
+        if let Some(dir) = &args.csv_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let path = dir.join("roofline.json");
+            if let Err(e) = std::fs::write(&path, report.to_json().pretty()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
     if want("lfk1") {
         println!("{}", worked_example(&sim, &chime));
     }
@@ -387,6 +439,10 @@ fn main() -> ExitCode {
             }
             eprintln!("wrote {}", path.display());
         }
+    }
+    if roofline_failed {
+        eprintln!("roofline: baseline classification disagrees with the stall taxonomy");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -22,10 +22,12 @@
 pub mod cosim;
 pub mod figures;
 pub mod paper;
+pub mod roofline;
 pub mod sweep;
 pub mod tables;
 mod worked;
 
+pub use roofline::{run_roofline, run_roofline_with, RooflineReport, RooflineRow};
 pub use sweep::{Ablation, GridSpec};
 pub use worked::{worked_example, WorkedExample};
 

@@ -211,6 +211,76 @@ impl MachineDescription {
             1.0
         }
     }
+
+    // ------------------------------------------------------------------
+    // Roofline ceilings (DESIGN.md §16).
+    //
+    // Every ceiling is a pure function of the description, so the same
+    // formulas hold for every preset and for hand-built hypotheticals.
+
+    /// Vector pipes that execute floating point: every pipe except the
+    /// load/store pipe (2 of the C-240's 3).
+    pub fn fp_pipes(&self) -> u32 {
+        self.vector_pipes.saturating_sub(1)
+    }
+
+    /// Peak vector flop rate across `cpus` CPUs, in flops per cycle:
+    /// every FP pipe retiring one element per cycle.
+    pub fn peak_flops_per_cycle(&self, cpus: u32) -> f64 {
+        f64::from(self.fp_pipes()) * f64::from(cpus)
+    }
+
+    /// Peak vector flop rate across `cpus` CPUs, in MFLOPS
+    /// (`fp_pipes × cpus × clock`) — 50 for one C-240 CPU.
+    pub fn peak_mflops(&self, cpus: u32) -> f64 {
+        self.peak_flops_per_cycle(cpus) * self.clock_mhz
+    }
+
+    /// Bank-side sustained bandwidth in words per cycle:
+    /// `banks / (bank_busy × refresh_factor)`. Each bank delivers one
+    /// word per `bank_busy`-cycle recovery window, derated by refresh —
+    /// ≈3.92 words/cycle for the 32-bank C-240 chassis.
+    pub fn bank_bandwidth_words_per_cycle(&self) -> f64 {
+        if self.bank_busy == 0 {
+            return f64::from(self.banks);
+        }
+        f64::from(self.banks) / (self.bank_busy as f64 * self.refresh_factor())
+    }
+
+    /// Port-side bandwidth cap in words per cycle: each CPU streams at
+    /// most one word per cycle through its single load/store pipe, and
+    /// the chassis exposes `ports` CPU ports.
+    pub fn port_bandwidth_words_per_cycle(&self, cpus: u32) -> f64 {
+        f64::from(cpus.min(self.ports))
+    }
+
+    /// Sustained memory bandwidth across `cpus` CPUs, in words per
+    /// cycle: the lesser of the port-side cap and the bank-side
+    /// delivery rate. One C-240 CPU is port-limited (1 word/cycle);
+    /// four are bank-limited (≈3.92).
+    pub fn sustained_bandwidth_words_per_cycle(&self, cpus: u32) -> f64 {
+        self.port_bandwidth_words_per_cycle(cpus)
+            .min(self.bank_bandwidth_words_per_cycle())
+    }
+
+    /// Sustained memory bandwidth across `cpus` CPUs, in Mwords/s.
+    pub fn sustained_bandwidth_mwords(&self, cpus: u32) -> f64 {
+        self.sustained_bandwidth_words_per_cycle(cpus) * self.clock_mhz
+    }
+
+    /// The roof's ridge point in flops per word: the operational
+    /// intensity at which the compute ceiling and the bandwidth slope
+    /// intersect (`peak_flops_per_cycle / sustained_bandwidth`).
+    /// Kernels with lower intensity are memory-bound, higher
+    /// compute-bound. 2.0 for one C-240 CPU.
+    pub fn ridge_intensity(&self, cpus: u32) -> f64 {
+        let bw = self.sustained_bandwidth_words_per_cycle(cpus);
+        if bw > 0.0 {
+            self.peak_flops_per_cycle(cpus) / bw
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 impl Default for MachineDescription {
@@ -255,6 +325,62 @@ mod tests {
         assert_eq!(banks64.timing, c240.timing);
         assert_eq!(dual.bank_busy, c240.bank_busy);
         assert_eq!(dual.refresh_factor(), c240.refresh_factor());
+    }
+
+    #[test]
+    fn c240_ceilings_match_hand_arithmetic() {
+        let m = MachineDescription::c240();
+        assert_eq!(m.fp_pipes(), 2);
+        assert_eq!(m.peak_flops_per_cycle(1), 2.0);
+        assert_eq!(m.peak_mflops(1), 50.0);
+        assert_eq!(m.peak_mflops(4), 200.0);
+        // 32 banks / (8-cycle busy × 1.02 refresh) ≈ 3.92 words/cycle.
+        assert!((m.bank_bandwidth_words_per_cycle() - 32.0 / 8.16).abs() < 1e-12);
+        // One CPU is port-limited at 1 word/cycle → ridge 2 flops/word.
+        assert_eq!(m.sustained_bandwidth_words_per_cycle(1), 1.0);
+        assert_eq!(m.ridge_intensity(1), 2.0);
+        // Four CPUs are bank-limited: 8 flops/cycle over ≈3.92 w/c.
+        assert!((m.sustained_bandwidth_words_per_cycle(4) - 32.0 / 8.16).abs() < 1e-12);
+        assert!((m.ridge_intensity(4) - 8.0 * 8.16 / 32.0).abs() < 1e-12);
+        assert_eq!(m.sustained_bandwidth_mwords(1), 25.0);
+    }
+
+    #[test]
+    fn preset_ceilings_differ_where_banks_and_ports_do() {
+        let c240 = MachineDescription::c240();
+        let wide = MachineDescription::c240_64banks();
+        let dual = MachineDescription::dual_port();
+        // Twice the banks, twice the bank-side bandwidth.
+        assert!(
+            (wide.bank_bandwidth_words_per_cycle() - 2.0 * c240.bank_bandwidth_words_per_cycle())
+                .abs()
+                < 1e-12
+        );
+        // At one CPU all presets are port-limited to the same roof.
+        for m in [&c240, &wide, &dual] {
+            assert_eq!(m.sustained_bandwidth_words_per_cycle(1), 1.0);
+            assert_eq!(m.ridge_intensity(1), 2.0);
+        }
+        // The dual-port chassis caps at 2 CPU ports and 16 banks.
+        assert_eq!(dual.port_bandwidth_words_per_cycle(4), 2.0);
+        assert!((dual.bank_bandwidth_words_per_cycle() - 16.0 / 8.16).abs() < 1e-12);
+        // 16/8.16 ≈ 1.96 < 2 ports: two dual-port CPUs are bank-limited.
+        assert!((dual.sustained_bandwidth_words_per_cycle(2) - 16.0 / 8.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ceiling_degenerate_cases() {
+        let mut m = MachineDescription::c240();
+        m.bank_busy = 0;
+        assert_eq!(m.bank_bandwidth_words_per_cycle(), 32.0);
+        let mut m = MachineDescription::c240();
+        m.vector_pipes = 0;
+        assert_eq!(m.fp_pipes(), 0);
+        assert_eq!(m.peak_flops_per_cycle(4), 0.0);
+        let mut m = MachineDescription::c240();
+        m.banks = 0;
+        assert_eq!(m.sustained_bandwidth_words_per_cycle(1), 0.0);
+        assert_eq!(m.ridge_intensity(1), f64::INFINITY);
     }
 
     #[test]

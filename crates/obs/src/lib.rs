@@ -154,6 +154,25 @@ impl StallCause {
             StallCause::BankBusy | StallCause::Refresh | StallCause::Contention
         )
     }
+
+    /// True for the causes the roofline cross-check charges to the
+    /// *memory* side: the vector memory waits plus the scalar memory
+    /// hazards (cache misses and the shared memory-port fence).
+    pub fn is_memory_side(self) -> bool {
+        self.is_memory_wait()
+            || matches!(
+                self,
+                StallCause::ScalarCacheMiss | StallCause::MemPortConflict
+            )
+    }
+
+    /// True for the causes the roofline cross-check charges to the
+    /// *compute* side: dependence, issue, and structural hazards between
+    /// the function-unit pipes (everything that is not a memory-side
+    /// wait).
+    pub fn is_compute_wait(self) -> bool {
+        !self.is_memory_side()
+    }
 }
 
 impl fmt::Display for StallCause {
@@ -246,6 +265,27 @@ impl StallCounters {
         StallCause::ALL
             .iter()
             .filter(|c| c.is_memory_wait())
+            .map(|&c| self.get(c))
+            .sum()
+    }
+
+    /// Total over the memory-side causes — [`Self::memory_wait`] plus
+    /// the scalar memory hazards (see [`StallCause::is_memory_side`]).
+    pub fn memory_side(&self) -> f64 {
+        StallCause::ALL
+            .iter()
+            .filter(|c| c.is_memory_side())
+            .map(|&c| self.get(c))
+            .sum()
+    }
+
+    /// Total over the compute-side causes (see
+    /// [`StallCause::is_compute_wait`]); `memory_side() +
+    /// compute_wait() == total()` identically.
+    pub fn compute_wait(&self) -> f64 {
+        StallCause::ALL
+            .iter()
+            .filter(|c| c.is_compute_wait())
             .map(|&c| self.get(c))
             .sum()
     }
@@ -652,6 +692,22 @@ mod tests {
     fn noprobe_is_disabled() {
         const { assert!(!<NoProbe as Probe>::ENABLED) };
         const { assert!(<CounterProbe as Probe>::ENABLED) };
+    }
+
+    #[test]
+    fn sides_partition_the_taxonomy() {
+        // Every cause is on exactly one side of the roofline rollup.
+        for cause in StallCause::ALL {
+            assert_ne!(cause.is_memory_side(), cause.is_compute_wait(), "{cause}");
+        }
+        let mut c = StallCounters::new();
+        for cause in StallCause::ALL {
+            c.add(cause, 1.0);
+        }
+        assert_eq!(c.memory_side() + c.compute_wait(), c.total());
+        assert_eq!(c.memory_wait(), 3.0);
+        assert_eq!(c.memory_side(), 5.0);
+        assert_eq!(c.compute_wait(), 7.0);
     }
 
     #[test]

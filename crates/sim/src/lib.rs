@@ -61,7 +61,7 @@ pub use config::{ScalarTiming, SimConfig};
 pub use cpu::{Cpu, FfStats};
 pub use error::SimError;
 pub use machine::Machine;
-pub use stats::{ClassCounts, RunStats};
+pub use stats::{ClassCounts, RunStats, StallRollup};
 pub use trace::{Trace, TraceEvent};
 pub use validate::{ConfigError, MAX_CPUS};
 

@@ -4,6 +4,7 @@ use std::fmt;
 
 use c240_isa::{InstrClass, Pipe, CLOCK_MHZ};
 use c240_mem::WaitBreakdown;
+use c240_obs::{CounterProbe, Lane};
 
 /// Aggregate statistics of one simulated run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -92,6 +93,71 @@ impl RunStats {
     }
 }
 
+/// Memory-side vs compute-side occupancy rolled up from a probed run —
+/// the measured half of the roofline cross-check (DESIGN.md §16).
+///
+/// The roofline question is which resource a kernel *occupies* longer,
+/// not which stalls more: a unit-stride memory-bound loop keeps the
+/// load/store pipe streaming with few attributed bank waits, so the
+/// rollup counts useful streaming time alongside the attributed stalls
+/// on each side of the [`c240_obs::StallCause`] taxonomy.
+///
+/// Two stall families are deliberately charged to *neither* side:
+/// chain waits, because a chained consumer idles in the shadow of its
+/// producer's streaming time — which is already counted on whichever
+/// side the producer pipe belongs to — and scalar-lane issue
+/// interlocks, which are loop overhead rather than roof pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StallRollup {
+    /// Cycles the vector load/store pipe streamed elements.
+    pub ld_busy: f64,
+    /// Cycles the busier floating point pipe (add or multiply) streamed
+    /// elements.
+    pub fp_busy: f64,
+    /// Attributed memory-side stall cycles (bank busy, refresh,
+    /// contention, scalar cache misses, memory-port fences), summed
+    /// over all lanes.
+    pub memory_stalls: f64,
+    /// Structural compute stall cycles on the FP lanes — tailgate
+    /// bubbles, pair conflicts, operand barriers, drains — excluding
+    /// chain waits (see the type-level note).
+    pub compute_stalls: f64,
+}
+
+impl StallRollup {
+    /// Rolls one probe's lane accounts up into the two roofline sides.
+    pub fn of_probe(probe: &CounterProbe) -> Self {
+        use c240_obs::StallCause;
+        let mut memory_stalls = 0.0;
+        let mut compute_stalls = 0.0;
+        for (lane, acct) in probe.lanes() {
+            memory_stalls += acct.stalls.memory_side();
+            if matches!(lane, Lane::Add | Lane::Mul) {
+                compute_stalls +=
+                    acct.stalls.compute_wait() - acct.stalls.get(StallCause::ChainWait);
+            }
+        }
+        StallRollup {
+            ld_busy: probe.lane(Lane::Ld).busy,
+            fp_busy: probe.lane(Lane::Add).busy.max(probe.lane(Lane::Mul).busy),
+            memory_stalls,
+            compute_stalls,
+        }
+    }
+
+    /// Cycles the memory system was the occupied resource: load/store
+    /// streaming plus memory-side waits.
+    pub fn memory_occupancy(&self) -> f64 {
+        self.ld_busy + self.memory_stalls
+    }
+
+    /// Cycles the FP pipes were the occupied resource: the busier FP
+    /// pipe's streaming plus dependence/issue waits.
+    pub fn compute_occupancy(&self) -> f64 {
+        self.fp_busy + self.compute_stalls
+    }
+}
+
 impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "cycles:           {:.2}", self.cycles)?;
@@ -169,5 +235,30 @@ mod tests {
     fn display_is_nonempty() {
         let text = RunStats::default().to_string();
         assert!(text.contains("cycles"));
+    }
+
+    #[test]
+    fn stall_rollup_splits_sides() {
+        use c240_obs::{Probe, StallCause};
+        let mut p = CounterProbe::new();
+        p.busy(Lane::Ld, 10.0, 1);
+        p.busy(Lane::Add, 4.0, 2);
+        p.busy(Lane::Mul, 6.0, 3);
+        p.stall(Lane::Ld, StallCause::BankBusy, 2.0, 1);
+        p.stall(Lane::ScalarMem, StallCause::ScalarCacheMiss, 1.0, 4);
+        p.stall(Lane::Mul, StallCause::PairConflict, 4.0, 3);
+        // Neither side: chain waits shadow their producer's streaming
+        // time; scalar issue interlocks are loop overhead; ld-lane
+        // bubbles are not FP-lane stalls.
+        p.stall(Lane::Add, StallCause::ChainWait, 3.0, 2);
+        p.stall(Lane::Scalar, StallCause::IssueInterlock, 9.0, 5);
+        p.stall(Lane::Ld, StallCause::TailgateBubble, 5.0, 1);
+        let r = StallRollup::of_probe(&p);
+        assert_eq!(r.ld_busy, 10.0);
+        assert_eq!(r.fp_busy, 6.0);
+        assert_eq!(r.memory_stalls, 3.0);
+        assert_eq!(r.compute_stalls, 4.0);
+        assert_eq!(r.memory_occupancy(), 13.0);
+        assert_eq!(r.compute_occupancy(), 10.0);
     }
 }
