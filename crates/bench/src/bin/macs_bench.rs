@@ -4,11 +4,27 @@
 //! macs-bench [OUT_DIR]        (default: results)
 //! macs-bench --serve [--journal FILE] [--resume FILE] [--workers N]
 //!            [--deadline-ms N] [--max-attempts N] [--backoff-ms N]
-//!            [--backoff-cap-ms N] [--machine PRESET]
+//!            [--backoff-cap-ms N] [--jitter-seed N] [--machine PRESET]
+//!            [--max-line-bytes N] [--read-timeout-ms N]
 //!            [--listen ADDR | --unix PATH]
 //!            [--metrics] [--trace-out FILE] [--spans-out FILE]
 //!            [--snapshot-every N] [--roofline]
+//! macs-bench --coordinate [--fleet N] [--journal FILE] [--resume FILE]
+//!            [--lease-ms N] [--queue-max N] [--chaos kill=N,hang=N,corrupt=N]
+//!            [--jitter-seed N] [--restart-backoff-ms N]
+//!            [--restart-backoff-cap-ms N] [--max-line-bytes N]
+//!            [--read-timeout-ms N] [--listen ADDR | --unix PATH] [--metrics]
+//!            [-- WORKER_FLAGS...]
 //! ```
+//!
+//! `--coordinate` runs the multi-tenant sweep coordinator (DESIGN.md
+//! §17, [`macs_bench::coordinate`]): a fleet of `--fleet` spawned
+//! `--serve` worker processes behind a shared content-addressed result
+//! cache (`--journal`, warm-started if the file exists), per-point
+//! leases with redispatch (`--lease-ms`), bounded admission
+//! (`--queue-max`, structured `overloaded` rows past it), and optional
+//! fault injection (`--chaos`). Flags after `--` go to each worker's
+//! `--serve` invocation verbatim (e.g. `-- --workers 1 --max-attempts 2`).
 //!
 //! `--serve` turns the binary into the fault-tolerant sweep server
 //! (see [`macs_bench::serve`]): newline-delimited JSON sweep points in
@@ -70,7 +86,7 @@ use c240_obs::json::Json;
 use c240_obs::{CounterProbe, StallCause};
 use c240_sim::{Cpu, Machine, SimConfig};
 use macs_bench::timing::Bench;
-use macs_bench::{serve, ServeObs, ServeOptions};
+use macs_bench::{serve, ChaosSpec, CoordinateOptions, ServeObs, ServeOptions};
 
 /// Observability overhead budgets, checked by the harness and
 /// documented in DESIGN.md §14. `MACS_BENCH_OVERHEAD_CHECK=0` downgrades
@@ -245,6 +261,14 @@ fn parse_serve_args(
             "--backoff-cap-ms" => {
                 opts.retry.backoff_cap = Duration::from_millis(number(value(&mut it, flag)?, flag)?)
             }
+            "--jitter-seed" => opts.retry.jitter_seed = Some(number(value(&mut it, flag)?, flag)?),
+            "--max-line-bytes" => {
+                opts.max_line_bytes = number::<usize>(value(&mut it, flag)?, flag)?.max(1)
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = number(value(&mut it, flag)?, flag)?;
+                opts.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             "--machine" => machine = Some(value(&mut it, flag)?.clone()),
             "--listen" => listen = Some(value(&mut it, flag)?.clone()),
             "--unix" => unix = Some(PathBuf::from(value(&mut it, flag)?)),
@@ -305,10 +329,122 @@ fn serve_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses the `--coordinate` flag set into [`CoordinateOptions`] plus
+/// the optional socket to listen on. Everything after a literal `--` is
+/// forwarded verbatim to each spawned `--serve` worker.
+fn parse_coordinate_args(
+    args: &[String],
+) -> Result<(CoordinateOptions, Option<String>, Option<PathBuf>), String> {
+    let mut opts = CoordinateOptions::default();
+    let mut listen: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut metrics = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut spans_out: Option<PathBuf> = None;
+    let (own, forwarded) = match args.iter().position(|a| a == "--") {
+        Some(at) => (&args[..at], &args[at + 1..]),
+        None => (args, &args[..0]),
+    };
+    opts.worker_args = forwarded.to_vec();
+    let mut it = own.iter();
+    fn value<'a>(
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn number<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("{flag} needs a non-negative integer, got {raw:?}"))
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--fleet" => opts.fleet = number::<usize>(value(&mut it, flag)?, flag)?.max(1),
+            "--worker-program" => opts.worker_program = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--journal" => opts.journal = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--resume" => opts.resume = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--lease-ms" => {
+                opts.lease =
+                    Duration::from_millis(number::<u64>(value(&mut it, flag)?, flag)?.max(1))
+            }
+            "--queue-max" => opts.queue_max = number::<usize>(value(&mut it, flag)?, flag)?.max(1),
+            "--restart-backoff-ms" => {
+                opts.restart_backoff.backoff_base =
+                    Duration::from_millis(number(value(&mut it, flag)?, flag)?)
+            }
+            "--restart-backoff-cap-ms" => {
+                opts.restart_backoff.backoff_cap =
+                    Duration::from_millis(number(value(&mut it, flag)?, flag)?)
+            }
+            "--jitter-seed" => opts.jitter_seed = Some(number(value(&mut it, flag)?, flag)?),
+            "--chaos" => opts.chaos = Some(ChaosSpec::parse(value(&mut it, flag)?)?),
+            "--max-line-bytes" => {
+                opts.max_line_bytes = number::<usize>(value(&mut it, flag)?, flag)?.max(1)
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = number(value(&mut it, flag)?, flag)?;
+                opts.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--listen" => listen = Some(value(&mut it, flag)?.clone()),
+            "--unix" => unix = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--metrics" => metrics = true,
+            "--trace-out" => trace_out = Some(PathBuf::from(value(&mut it, flag)?)),
+            "--spans-out" => spans_out = Some(PathBuf::from(value(&mut it, flag)?)),
+            other => return Err(format!("unknown --coordinate flag {other:?}")),
+        }
+    }
+    if listen.is_some() && unix.is_some() {
+        return Err("--listen and --unix are mutually exclusive".into());
+    }
+    if metrics || trace_out.is_some() || spans_out.is_some() {
+        opts.obs = Some(ServeObs {
+            trace_out,
+            spans_out,
+            ..ServeObs::default()
+        });
+    }
+    Ok((opts, listen, unix))
+}
+
+/// The `--coordinate` entry point: one stdin/stdout stream by default,
+/// a multi-tenant socket with `--listen`/`--unix`.
+fn coordinate_main(args: &[String]) -> ExitCode {
+    let (opts, listen, unix) = match parse_coordinate_args(args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("macs-bench --coordinate: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let served = if let Some(addr) = listen {
+        macs_bench::coordinate::coordinate_tcp(&addr, &opts).map(|()| None)
+    } else if let Some(path) = unix {
+        macs_bench::coordinate::coordinate_unix(&path, &opts).map(|()| None)
+    } else {
+        let input = std::io::BufReader::new(std::io::stdin());
+        let stdout = std::io::stdout();
+        macs_bench::coordinate(input, stdout.lock(), &opts).map(Some)
+    };
+    match served {
+        Ok(Some(outcomes)) => {
+            eprintln!("macs-bench: {outcomes}");
+            ExitCode::SUCCESS
+        }
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("macs-bench --coordinate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--serve") {
         return serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("--coordinate") {
+        return coordinate_main(&args[1..]);
     }
     let out_dir = PathBuf::from(args.first().cloned().unwrap_or_else(|| "results".into()));
     let sim = harness_config(None).expect("the default machine always resolves");

@@ -20,9 +20,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coordinate;
+pub mod lineio;
 pub mod serve;
 pub mod timing;
 
+pub use coordinate::{coordinate, ChaosSpec, CoordinateOptions, Coordinator};
+pub use lineio::{sniff_http, BoundedLines, LineEvent, Sniff};
 pub use macs_core::{parallel_map, pool::THREADS_ENV, threads};
 pub use serve::{
     eval_point, eval_point_observed, serve, Evaluated, PointClass, ServeObs, ServeOptions,

@@ -42,6 +42,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::lineio::{sniff_http, BoundedLines, LineEvent, Sniff};
 use c240_isa::{MachineDescription, PRESET_NAMES};
 use c240_obs::json::Json;
 use c240_obs::span::{spans_to_chrome, spans_to_ndjson};
@@ -89,7 +90,7 @@ pub struct ServeObs {
 
 impl ServeObs {
     /// Drains the tracer and writes the configured trace exports.
-    fn export(&self) -> io::Result<()> {
+    pub(crate) fn export(&self) -> io::Result<()> {
         if self.trace_out.is_none() && self.spans_out.is_none() {
             return Ok(());
         }
@@ -132,6 +133,16 @@ pub struct ServeOptions {
     /// the pre-roofline output. Roofline fields are pure functions of
     /// simulated quantities, so journaled rows resume bit-identically.
     pub roofline: bool,
+    /// Hard per-line byte ceiling on request streams. A longer line is
+    /// answered with a structured `oversized` protocol-error row and
+    /// drained to its newline instead of growing an unbounded buffer.
+    pub max_line_bytes: usize,
+    /// Socket read timeout for TCP/Unix connections. A peer that stalls
+    /// mid-line past this long (slowloris) gets a structured `stalled`
+    /// protocol-error row plus the summary, then the stream closes —
+    /// instead of pinning a connection thread forever. `None` disables
+    /// the timeout; stdin streams are never timed out.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -147,6 +158,8 @@ impl Default for ServeOptions {
             resume: None,
             obs: None,
             roofline: false,
+            max_line_bytes: 64 * 1024,
+            read_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -722,6 +735,16 @@ impl Emit {
     }
 }
 
+/// A structured protocol-error row for stream-level abuse (oversized
+/// lines, stalled peers) where there is no line text worth echoing.
+fn limit_row(kind: &str, message: &str) -> Json {
+    Json::obj()
+        .field("schema", SWEEP_ROW_SCHEMA)
+        .field("status", "error")
+        .field("error_kind", kind)
+        .field("message", message)
+}
+
 fn protocol_row(error: &ProtocolError, line: &str) -> Json {
     let mut shown: String = line.chars().take(200).collect();
     if shown.len() < line.len() {
@@ -790,12 +813,59 @@ pub fn serve(
     std::thread::scope(|scope| -> io::Result<()> {
         let reader_tx = out_tx.clone();
         let reader_obs = obs.map(|o| (o.tracer.clone(), o.metrics.gauge("macs_queue_depth", &[])));
+        let abuse_counters = obs.map(|o| {
+            (
+                o.metrics.counter("macs_lines_oversized_total", &[]),
+                o.metrics.counter("macs_streams_stalled_total", &[]),
+            )
+        });
+        let max_line_bytes = opts.max_line_bytes;
         scope.spawn(move || {
             // Send failures below mean the writer already bailed on an
             // output error; keep draining input so the scope can join.
             let mut seen: HashSet<String> = HashSet::new();
-            for line in input.lines() {
-                let Ok(line) = line else { break };
+            let mut lines = BoundedLines::new(input, max_line_bytes);
+            loop {
+                let line = match lines.next_event() {
+                    Err(_) | Ok(LineEvent::Eof) => break,
+                    Ok(LineEvent::Stalled) => {
+                        // The peer dribbled past the read timeout: answer
+                        // with a structured row and end the stream, so a
+                        // slowloris costs one row, not a pinned thread.
+                        if let Some((_, stalled)) = abuse_counters.as_ref() {
+                            stalled.inc();
+                        }
+                        let _ = reader_tx.send(Emit {
+                            key: None,
+                            row: limit_row(
+                                "stalled",
+                                "no complete request line within the read timeout; closing the stream",
+                            ),
+                            kind: EmitKind::Protocol,
+                            retried: false,
+                        });
+                        break;
+                    }
+                    Ok(LineEvent::Oversized { length }) => {
+                        if let Some((oversized, _)) = abuse_counters.as_ref() {
+                            oversized.inc();
+                        }
+                        let _ = reader_tx.send(Emit {
+                            key: None,
+                            row: limit_row(
+                                "oversized",
+                                &format!(
+                                    "request line of {length}+ bytes exceeds the \
+                                     {max_line_bytes}-byte limit"
+                                ),
+                            ),
+                            kind: EmitKind::Protocol,
+                            retried: false,
+                        });
+                        continue;
+                    }
+                    Ok(LineEvent::Line(line)) => line,
+                };
                 if line.trim().is_empty() {
                     continue;
                 }
@@ -934,7 +1004,7 @@ pub fn serve(
 /// `version=0.0.4`); anything else is a 404. The request's remaining
 /// header lines are drained (bounded) so well-behaved HTTP clients see
 /// a clean close.
-fn answer_http(
+pub(crate) fn answer_http(
     request_line: &str,
     reader: &mut impl BufRead,
     mut writer: impl Write,
@@ -978,16 +1048,19 @@ fn handle_connection<S: Read + Write + Send>(
     sweeps: &Mutex<()>,
 ) -> io::Result<Option<SweepOutcomes>> {
     let mut reader = BufReader::new(reader_half);
-    let mut first = String::new();
-    if reader.read_line(&mut first)? == 0 {
-        return Ok(None);
-    }
-    if first.starts_with("GET ") || first.starts_with("HEAD ") {
-        answer_http(&first, &mut reader, stream, opts.obs.as_ref())?;
-        return Ok(None);
-    }
+    // Bounded, timeout-aware sniff: a peer that stalls or never sends a
+    // newline still reaches the hardened request loop (and gets its
+    // structured `stalled`/`protocol` row) instead of erroring out here.
+    let sniffed = match sniff_http(&mut reader, opts.max_line_bytes)? {
+        Sniff::Empty => return Ok(None),
+        Sniff::Http(request_line) => {
+            answer_http(&request_line, &mut reader, stream, opts.obs.as_ref())?;
+            return Ok(None);
+        }
+        Sniff::Stream(seen) => seen,
+    };
     let _guard = sweeps.lock().expect("sweep serialization lock");
-    let input = io::Cursor::new(first.into_bytes()).chain(reader);
+    let input = io::Cursor::new(sniffed).chain(reader);
     serve(input, stream, opts).map(Some)
 }
 
@@ -1008,6 +1081,11 @@ pub fn serve_tcp(addr: &str, opts: &ServeOptions) -> io::Result<()> {
     let sweeps = Arc::new(Mutex::new(()));
     loop {
         let (stream, peer) = listener.accept()?;
+        // A zero-duration timeout is invalid at the socket layer; treat
+        // it as "no timeout" rather than killing the connection.
+        if let Some(t) = opts.read_timeout.filter(|t| !t.is_zero()) {
+            let _ = stream.set_read_timeout(Some(t));
+        }
         let opts = Arc::clone(&opts);
         let sweeps = Arc::clone(&sweeps);
         std::thread::spawn(move || {
@@ -1046,6 +1124,9 @@ pub fn serve_unix(path: &std::path::Path, opts: &ServeOptions) -> io::Result<()>
     let sweeps = Arc::new(Mutex::new(()));
     loop {
         let (stream, _) = listener.accept()?;
+        if let Some(t) = opts.read_timeout.filter(|t| !t.is_zero()) {
+            let _ = stream.set_read_timeout(Some(t));
+        }
         let opts = Arc::clone(&opts);
         let sweeps = Arc::clone(&sweeps);
         std::thread::spawn(move || {
@@ -1087,6 +1168,7 @@ mod tests {
                 max_attempts: 2,
                 backoff_base: Duration::from_millis(1),
                 backoff_cap: Duration::from_millis(2),
+                jitter_seed: None,
             },
             ..ServeOptions::default()
         }
@@ -1169,6 +1251,37 @@ mod tests {
             assert!(resumed_rows.contains(row), "row not re-emitted verbatim");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn an_oversized_line_becomes_a_structured_row_and_the_stream_continues() {
+        let mut opts = fast_opts();
+        opts.max_line_bytes = 128;
+        let huge = format!("{{\"id\":\"big\",\"junk\":\"{}\"}}", "x".repeat(4096));
+        let input = format!("{huge}\n{{\"id\":\"ok\",\"kernel\":12}}\n");
+        let (rows, outcomes) = serve_lines(&input, &opts);
+        assert_eq!(outcomes.invalid, 1, "{outcomes}");
+        assert_eq!(outcomes.ok, 1);
+        let abuse = rows
+            .iter()
+            .find(|r| r.get("error_kind").and_then(Json::as_str) == Some("oversized"))
+            .expect("oversized row present");
+        assert!(abuse
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("128-byte limit"));
+    }
+
+    #[test]
+    fn invalid_utf8_degrades_to_a_protocol_row_not_a_dead_stream() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"\xff\xfe\xfd\n");
+        input.extend_from_slice(b"{\"id\":\"ok\",\"kernel\":12}\n");
+        let mut out = Vec::new();
+        let outcomes = serve(&input[..], &mut out, &fast_opts()).expect("serve survives");
+        assert_eq!(outcomes.invalid, 1);
+        assert_eq!(outcomes.ok, 1);
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub use roofline::{
 };
 pub use runreport::{RunReport, RUN_REPORT_SCHEMA};
 pub use supervise::{
-    supervise, supervise_observed, FailureKind, RetryPolicy, SuperviseEvent, Supervised,
+    supervise, supervise_observed, FailureKind, JitterRng, RetryPolicy, SuperviseEvent, Supervised,
 };
 pub use sweep::{
     parse_point, Contention, Fault, Journal, Overrides, ProtocolError, SweepPoint, JOURNAL_SCHEMA,

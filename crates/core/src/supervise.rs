@@ -38,6 +38,45 @@ pub struct RetryPolicy {
     pub backoff_base: Duration,
     /// Upper bound every backoff is clamped to.
     pub backoff_cap: Duration,
+    /// Full-jitter mode: `Some(seed)` replaces each backoff with a
+    /// uniform draw from `[0, backoff(n)]` (AWS-style *full jitter*),
+    /// decorrelating retries across a fleet so a shared failure does not
+    /// produce a synchronized retry stampede. The seed makes the draw
+    /// sequence deterministic — tests and reproductions pin it — and a
+    /// per-worker seed (what the coordinator passes each spawned server)
+    /// is what actually spreads the fleet. `None` keeps the exact
+    /// deterministic schedule.
+    pub jitter_seed: Option<u64>,
+}
+
+/// A tiny deterministic PRNG (xorshift64*) used only for backoff jitter;
+/// the stream is a pure function of the seed, which is what makes
+/// jittered runs reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct JitterRng(u64);
+
+impl JitterRng {
+    /// Seeds the generator. A zero seed is remapped (xorshift has a zero
+    /// fixed point).
+    pub fn new(seed: u64) -> Self {
+        JitterRng(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
+    }
+
+    /// The next draw in `[0, bound]` (inclusive); 0 when `bound` is 0.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        let x = self.0.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        match bound.checked_add(1) {
+            Some(n) => x % n,
+            None => x,
+        }
+    }
 }
 
 impl RetryPolicy {
@@ -47,26 +86,49 @@ impl RetryPolicy {
             max_attempts: 1,
             backoff_base: Duration::ZERO,
             backoff_cap: Duration::ZERO,
+            jitter_seed: None,
         }
     }
 
-    /// The backoff slept after the `failed_attempts`-th failed attempt
-    /// (1-based): `base · 2^(failed_attempts−1)`, clamped to the cap.
+    /// The *ceiling* backoff after the `failed_attempts`-th failed
+    /// attempt (1-based): `base · 2^(failed_attempts−1)`, clamped to the
+    /// cap. With jitter enabled the slept backoff is a uniform draw below
+    /// this ceiling ([`RetryPolicy::jittered_backoff`]).
     pub fn backoff(&self, failed_attempts: u32) -> Duration {
         let doublings = failed_attempts.saturating_sub(1).min(16);
         self.backoff_base
             .saturating_mul(1u32 << doublings)
             .min(self.backoff_cap)
     }
+
+    /// The backoff actually slept after the `failed_attempts`-th failure:
+    /// the deterministic [`RetryPolicy::backoff`] ceiling without jitter,
+    /// or a full-jitter draw in `[0, ceiling]` from `rng` with it.
+    pub fn jittered_backoff(&self, failed_attempts: u32, rng: &mut Option<JitterRng>) -> Duration {
+        let ceiling = self.backoff(failed_attempts);
+        match rng {
+            None => ceiling,
+            Some(rng) => Duration::from_millis(
+                rng.next_below(ceiling.as_millis().min(u128::from(u64::MAX)) as u64),
+            ),
+        }
+    }
+
+    /// The jitter generator this policy starts each supervised point
+    /// with: `None` without a seed (exact deterministic backoff).
+    pub fn jitter_rng(&self) -> Option<JitterRng> {
+        self.jitter_seed.map(JitterRng::new)
+    }
 }
 
 impl Default for RetryPolicy {
-    /// Three attempts, 10 ms base backoff, 1 s cap.
+    /// Three attempts, 10 ms base backoff, 1 s cap, no jitter.
     fn default() -> Self {
         RetryPolicy {
             max_attempts: 3,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(1),
+            jitter_seed: None,
         }
     }
 }
@@ -225,6 +287,7 @@ where
     let budget = retry.max_attempts.max(1);
     let mut backoff_ms = Vec::new();
     let mut attempts = 0;
+    let mut rng = retry.jitter_rng();
     loop {
         attempts += 1;
         match attempt(&f, deadline) {
@@ -247,7 +310,7 @@ where
                         backoff_ms,
                     };
                 }
-                let pause = retry.backoff(attempts);
+                let pause = retry.jittered_backoff(attempts, &mut rng);
                 let ms = pause.as_millis() as u64;
                 observe(SuperviseEvent::Backoff { ms });
                 backoff_ms.push(ms);
@@ -267,6 +330,7 @@ mod tests {
             max_attempts,
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(4),
+            jitter_seed: None,
         }
     }
 
@@ -397,11 +461,74 @@ mod tests {
     }
 
     #[test]
+    fn full_jitter_draws_below_the_ceiling_and_is_seed_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff_base: Duration::from_millis(64),
+            backoff_cap: Duration::from_millis(256),
+            jitter_seed: Some(42),
+        };
+        let draw_all = || {
+            let mut rng = p.jitter_rng();
+            (1..=6)
+                .map(|n| {
+                    let d = p.jittered_backoff(n, &mut rng);
+                    assert!(d <= p.backoff(n), "jitter must stay below the ceiling");
+                    d.as_millis() as u64
+                })
+                .collect::<Vec<_>>()
+        };
+        // Same seed → the same draw sequence, run after run.
+        assert_eq!(draw_all(), draw_all());
+        // Different seeds decorrelate (the stampede-prevention property).
+        let other = RetryPolicy {
+            jitter_seed: Some(43),
+            ..p
+        };
+        let mut rng = other.jitter_rng();
+        let theirs: Vec<u64> = (1..=6)
+            .map(|n| other.jittered_backoff(n, &mut rng).as_millis() as u64)
+            .collect();
+        assert_ne!(draw_all(), theirs, "distinct seeds must decorrelate");
+        // Jitter actually varies across attempts (not a constant stream).
+        let draws = draw_all();
+        assert!(
+            draws.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "{draws:?}"
+        );
+        // No seed → the exact deterministic ceiling (legacy behavior).
+        let plain = RetryPolicy {
+            jitter_seed: None,
+            ..p
+        };
+        let mut rng = plain.jitter_rng();
+        assert_eq!(plain.jittered_backoff(3, &mut rng), plain.backoff(3));
+    }
+
+    #[test]
+    fn jittered_supervise_stays_reproducible_with_a_pinned_seed() {
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(8),
+            jitter_seed: Some(7),
+        };
+        let run = || supervise(|| -> u32 { panic!("always") }, None, &retry).backoff_ms;
+        let first = run();
+        assert_eq!(first.len(), 3, "three failed retries → three backoffs");
+        assert_eq!(first, run(), "pinned seed → identical backoff schedule");
+        for (n, &ms) in first.iter().enumerate() {
+            assert!(ms <= retry.backoff(n as u32 + 1).as_millis() as u64);
+        }
+    }
+
+    #[test]
     fn backoff_doubles_and_caps() {
         let p = RetryPolicy {
             max_attempts: 10,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(35),
+            jitter_seed: None,
         };
         assert_eq!(p.backoff(1), Duration::from_millis(10));
         assert_eq!(p.backoff(2), Duration::from_millis(20));

@@ -536,7 +536,9 @@ impl Error for UnknownMachine {}
 /// The append-only checkpoint journal (schema [`JOURNAL_SCHEMA`]).
 ///
 /// Line 1 is a header object; every further line is either a checkpoint
-/// record `{"key":"<16 hex>","row":{…}}` or a self-describing metadata
+/// record `{"key":"<16 hex>","row":{…},"sum":"<16 hex>"}` (the `sum` is
+/// FNV-1a over `key:row`, so in-place damage to either field is detected
+/// rather than resumed as a silently wrong row) or a self-describing metadata
 /// row (an object carrying its own `schema` field, e.g. the periodic
 /// `c240-metrics/v1` snapshots) appended with [`Journal::meta`]. Records
 /// are flushed line-by-line, so a `kill -9` loses at most the rows of
@@ -583,13 +585,24 @@ impl Journal {
         self.bytes
     }
 
-    /// Appends one completed point and flushes it to the OS.
+    /// Appends one completed point and flushes it to the OS. The record
+    /// carries a `sum` field — FNV-1a over `key:row` (the key *and* the
+    /// row's canonical rendering, so a flipped byte in either is caught)
+    /// — letting the loader tell a *corrupted* record (bytes damaged in
+    /// place, which must fail loudly) from a *torn* one (the final line a
+    /// `kill -9` interrupted, which is tolerated).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn record(&mut self, key: &str, row: &Json) -> io::Result<()> {
-        self.write_line(&Json::obj().field("key", key).field("row", row.clone()))
+        let sum = format!("{:016x}", fnv1a64(format!("{key}:{row}").as_bytes()));
+        self.write_line(
+            &Json::obj()
+                .field("key", key)
+                .field("row", row.clone())
+                .field("sum", sum),
+        )
     }
 
     /// Appends a self-describing metadata row (it must carry a `schema`
@@ -651,7 +664,19 @@ impl Journal {
                         record.get("row").map(|row| (key.to_string(), row.clone()))
                     });
                     if let Some((key, row)) = checkpoint {
-                        rows.insert(key, row);
+                        // Verify the integrity checksum when the record
+                        // carries one (pre-checksum journals do not). A
+                        // mismatch is damage inside an otherwise
+                        // well-formed line — tolerated only as the torn
+                        // final line, fatal anywhere else, and never
+                        // silently resumed as a wrong row.
+                        let sum = record.get("sum").and_then(Json::as_str);
+                        let expect = format!("{:016x}", fnv1a64(format!("{key}:{row}").as_bytes()));
+                        if sum.is_some() && sum != Some(expect.as_str()) {
+                            pending = Some((line, lineno + 2));
+                        } else {
+                            rows.insert(key, row);
+                        }
                     } else if record.get("schema").and_then(Json::as_str).is_some() {
                         // A metadata row (metrics snapshot, …): valid
                         // journal content, irrelevant to resume.

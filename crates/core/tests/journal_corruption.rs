@@ -1,0 +1,250 @@
+//! Property-style tests of the journal loader against a damaged tail.
+//!
+//! The resume contract is: whatever a `kill -9` (or a dying disk) did to
+//! the *tail* of the journal, `Journal::load` must never invent,
+//! duplicate, or silently mutate a completed row — it either returns
+//! exactly the records that were fully and cleanly written, or it fails
+//! loudly. These tests drive that contract with deterministic
+//! pseudo-random truncations and byte corruptions at arbitrary offsets.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use c240_obs::json::Json;
+use macs_core::sweep::Journal;
+
+/// xorshift64* — deterministic across runs and platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d) % bound.max(1)
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "macs-journal-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Writes a journal of `n` records and returns (file bytes, the records
+/// in write order as (key, row, end-offset-of-line)).
+fn build_journal(path: &Path, n: usize) -> (Vec<u8>, Vec<(String, Json, usize)>) {
+    let mut journal = Journal::open_append(path).expect("journal opens");
+    let mut written = Vec::new();
+    for i in 0..n {
+        let key = format!("{i:016x}");
+        let row = Json::obj()
+            .field("id", format!("p{i}"))
+            .field("status", "ok")
+            .field("cycles", (i as f64) * 17.25 + 3.0)
+            .field("nested", Json::obj().field("cpl", 1.5 + i as f64));
+        journal.record(&key, &row).expect("record appends");
+        written.push((key, row));
+    }
+    // A metadata row interleaves mid-stream in real journals; the loader
+    // must keep skipping it whatever happens after.
+    drop(journal);
+    let bytes = std::fs::read(path).expect("journal readable");
+    // Recover each record's end offset by scanning line ends.
+    let mut offsets = Vec::new();
+    let mut at = 0usize;
+    for (i, b) in bytes.iter().enumerate() {
+        if *b == b'\n' {
+            // Line 0 is the header; records follow in write order.
+            if at > 0 {
+                offsets.push(i + 1);
+            }
+            at += 1;
+        }
+    }
+    assert_eq!(offsets.len(), n, "one line end per record");
+    let records = written
+        .into_iter()
+        .zip(offsets)
+        .map(|((k, r), end)| (k, r, end))
+        .collect();
+    (bytes, records)
+}
+
+/// The records a loader must return for a journal truncated at `len`:
+/// exactly those whose full line content fits in the prefix. A cut that
+/// removes only the trailing newline keeps the record — the line is
+/// byte-complete and still parses.
+fn expect_complete(records: &[(String, Json, usize)], len: usize) -> BTreeMap<String, String> {
+    records
+        .iter()
+        .filter(|(_, _, end)| end - 1 <= len)
+        .map(|(k, r, _)| (k.clone(), r.to_string()))
+        .collect()
+}
+
+/// Truncation anywhere in the body (the kill -9 model): load always
+/// succeeds and returns exactly the fully-written records — the torn
+/// final record is dropped, nothing is duplicated, nothing is invented,
+/// and every surviving row is byte-identical to what was written.
+#[test]
+fn random_truncation_never_drops_or_double_emits_a_completed_row() {
+    let dir = temp_dir("trunc");
+    let full = dir.join("full.ndjson");
+    let (bytes, records) = build_journal(&full, 24);
+    let header_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+
+    let mut rng = Rng(0x1234_5678_9abc_def0);
+    let cut = dir.join("cut.ndjson");
+    // Every record boundary plus a deterministic random sample of
+    // mid-record offsets.
+    let mut cuts: Vec<usize> = records.iter().map(|(_, _, end)| *end).collect();
+    cuts.push(header_end);
+    cuts.push(bytes.len());
+    for _ in 0..300 {
+        cuts.push(header_end + rng.next((bytes.len() - header_end) as u64) as usize);
+    }
+    for len in cuts {
+        std::fs::write(&cut, &bytes[..len]).expect("truncated journal written");
+        let loaded = Journal::load(&cut)
+            .unwrap_or_else(|e| panic!("truncation at {len} must load (torn tail): {e}"));
+        let got: BTreeMap<String, String> = loaded
+            .into_iter()
+            .map(|(k, r)| (k, r.to_string()))
+            .collect();
+        let want = expect_complete(&records, len);
+        assert_eq!(
+            got, want,
+            "truncation at byte {len}: resume set diverged from the cleanly-written prefix"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Corrupting bytes *inside the final record* (a torn or damaged tail)
+/// must never surface a wrong row: the loader either drops that one
+/// record (checksum/parse failure on the last line) or fails — the
+/// completed prefix always loads intact, byte-identical.
+#[test]
+fn corrupted_tail_is_dropped_or_fatal_never_silently_wrong() {
+    let dir = temp_dir("tail");
+    let full = dir.join("full.ndjson");
+    let (bytes, records) = build_journal(&full, 12);
+    let last_start = records[records.len() - 2].2; // end of the penultimate line
+    let intact = expect_complete(&records, last_start);
+
+    let mut rng = Rng(0xdead_beef_cafe_f00d);
+    let hurt = dir.join("hurt.ndjson");
+    for _ in 0..300 {
+        let mut damaged = bytes.clone();
+        // Damage 1-4 bytes of the final record (never its newline, so
+        // the line stays a single line).
+        let span = bytes.len() - last_start - 1;
+        for _ in 0..=rng.next(3) {
+            let at = last_start + rng.next(span as u64) as usize;
+            damaged[at] = (rng.next(255) as u8).max(1); // never NUL→still text-ish
+        }
+        if damaged == bytes {
+            continue; // the "damage" wrote the original bytes back
+        }
+        std::fs::write(&hurt, &damaged).expect("damaged journal written");
+        match Journal::load(&hurt) {
+            Err(_) => {} // loud failure is always acceptable
+            Ok(loaded) => {
+                let got: BTreeMap<String, String> = loaded
+                    .into_iter()
+                    .map(|(k, r)| (k, r.to_string()))
+                    .collect();
+                // The completed prefix must be intact…
+                for (k, want) in &intact {
+                    assert_eq!(
+                        got.get(k),
+                        Some(want),
+                        "a completed row was dropped or mutated"
+                    );
+                }
+                // …and the damaged final record either vanished (torn)
+                // or survived byte-identical (damage hit e.g. the sum
+                // field's own rendering is covered by parse failure; a
+                // surviving row must match what was written).
+                let (last_key, last_row, _) = &records[records.len() - 1];
+                if let Some(row) = got.get(last_key) {
+                    assert_eq!(
+                        row,
+                        &last_row.to_string(),
+                        "a damaged row resumed with wrong bytes"
+                    );
+                }
+                // No keys beyond the ones written may appear.
+                for k in got.keys() {
+                    assert!(
+                        records.iter().any(|(key, _, _)| key == k),
+                        "loader invented key {k}"
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Damage to a *non-final* record is unrecoverable corruption, not a
+/// torn tail: whenever the damage breaks the line's JSON or its
+/// checksum, the loader must refuse the whole journal rather than
+/// resume around a hole.
+#[test]
+fn mid_file_damage_is_fatal_when_detected() {
+    let dir = temp_dir("mid");
+    let full = dir.join("full.ndjson");
+    let (bytes, records) = build_journal(&full, 12);
+    let header_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let victim_start = records[3].2; // damage record 4 (mid-file)
+    let victim_end = records[4].2 - 1;
+
+    let mut rng = Rng(0x0bad_5eed_0bad_5eed);
+    let hurt = dir.join("hurt.ndjson");
+    let mut detected = 0u32;
+    for _ in 0..300 {
+        let mut damaged = bytes.clone();
+        let at = victim_start + rng.next((victim_end - victim_start) as u64) as usize;
+        damaged[at] = b"{}\"x0Z@"[rng.next(7) as usize];
+        if damaged == bytes {
+            continue;
+        }
+        std::fs::write(&hurt, &damaged).expect("damaged journal written");
+        match Journal::load(&hurt) {
+            Err(_) => detected += 1,
+            Ok(loaded) => {
+                // Undetectable damage must still never mutate a row: the
+                // checksum makes a content flip inside `row` detectable,
+                // so a clean load means every row is byte-identical to
+                // what was written (the flip hit redundant whitespace or
+                // restored itself — impossible here — or hit the `key`
+                // field, in which case the bogus key must carry a row
+                // failing its checksum… which is detected. So: exact
+                // match, minus possibly the victim).
+                for (k, row) in &loaded {
+                    let original = records.iter().find(|(key, _, _)| key == k);
+                    match original {
+                        Some((_, want, _)) => assert_eq!(
+                            row.to_string(),
+                            want.to_string(),
+                            "mid-file damage mutated a resumed row"
+                        ),
+                        None => panic!("mid-file damage invented key {k}"),
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        detected > 200,
+        "structural damage should be detected nearly always, got {detected}/300"
+    );
+    let _ = header_end;
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -34,6 +34,13 @@ pub struct SweepOutcomes {
     /// Input lines skipped because an earlier line in the same run had
     /// the same point key.
     pub duplicate: u64,
+    /// Points answered from the coordinator's in-memory result cache
+    /// (or deduplicated against an identical in-flight point) without
+    /// re-simulating.
+    pub cached: u64,
+    /// Points refused with a structured `overloaded` error row because
+    /// the coordinator's admission queue was full.
+    pub overloaded: u64,
     /// Points that needed more than one attempt, whatever the final
     /// outcome (a subset indicator, not a terminal class).
     pub retried: u64,
@@ -47,7 +54,14 @@ impl SweepOutcomes {
 
     /// Total input lines that reached a terminal outcome.
     pub fn points(&self) -> u64 {
-        self.ok + self.resumed + self.invalid + self.timed_out + self.panicked + self.duplicate
+        self.ok
+            + self.resumed
+            + self.invalid
+            + self.timed_out
+            + self.panicked
+            + self.duplicate
+            + self.cached
+            + self.overloaded
     }
 
     /// Points blacklisted after exhausting their retry budget (the
@@ -68,6 +82,8 @@ impl SweepOutcomes {
             .field("panicked", self.panicked)
             .field("poisoned", self.poisoned())
             .field("duplicate", self.duplicate)
+            .field("cached", self.cached)
+            .field("overloaded", self.overloaded)
             .field("retried", self.retried)
     }
 }
@@ -77,7 +93,7 @@ impl fmt::Display for SweepOutcomes {
         write!(
             f,
             "{} points: {} ok, {} resumed, {} invalid, {} timed out, {} panicked, \
-             {} duplicate ({} retried)",
+             {} duplicate, {} cached, {} overloaded ({} retried)",
             self.points(),
             self.ok,
             self.resumed,
@@ -85,6 +101,8 @@ impl fmt::Display for SweepOutcomes {
             self.timed_out,
             self.panicked,
             self.duplicate,
+            self.cached,
+            self.overloaded,
             self.retried
         )
     }
@@ -103,17 +121,21 @@ mod tests {
             timed_out: 1,
             panicked: 1,
             duplicate: 1,
+            cached: 4,
+            overloaded: 2,
             retried: 2,
         };
-        assert_eq!(o.points(), 13);
+        assert_eq!(o.points(), 19);
         assert_eq!(o.poisoned(), 2);
         let j = o.to_json();
         assert_eq!(
             j.get("schema").and_then(Json::as_str),
             Some(SWEEP_SUMMARY_SCHEMA)
         );
-        assert_eq!(j.get("points").and_then(Json::as_f64), Some(13.0));
+        assert_eq!(j.get("points").and_then(Json::as_f64), Some(19.0));
         assert_eq!(j.get("poisoned").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("cached").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(j.get("overloaded").and_then(Json::as_f64), Some(2.0));
         assert_eq!(j.get("retried").and_then(Json::as_f64), Some(2.0));
     }
 
@@ -127,6 +149,8 @@ mod tests {
             "timed out",
             "panicked",
             "duplicate",
+            "cached",
+            "overloaded",
         ] {
             assert!(text.contains(word), "missing {word} in {text}");
         }

@@ -1,0 +1,279 @@
+#!/usr/bin/env bash
+# Coordinator chaos soak: push a 10,000-point load (5,000 unique points,
+# then the same 5,000 again under fresh ids) through
+# `macs-bench --coordinate` with a 3-worker fleet while the built-in
+# chaos schedule kill -9s, SIGSTOPs, and feeds garbage to the workers,
+# and a hostile client abuses the listener (garbage JSON, an oversized
+# line, a stalled half-line). Asserts:
+#   * every unique point is journaled exactly once (exactly-once under
+#     worker crashes and lease-expiry redispatch);
+#   * the repeated half is answered from the cache (summary `cached` ==
+#     5000 and the Prometheus cache-hit counter covers it) — nothing is
+#     re-simulated;
+#   * coordinated rows are bit-identical to a lone single-process
+#     `macs-bench --serve` run of the same unique grid;
+#   * the hostile client gets structured protocol/oversized/stalled
+#     rows, and the soak results are unaffected by the abuse;
+#   * chaos, restart, and redispatch counters prove the faults actually
+#     fired and the fleet recovered.
+# The merged journal and logs land in $2 (default
+# coordinator_chaos_artifacts/) for CI upload.
+set -euo pipefail
+
+BIN="${1:-./target/release/macs-bench}"
+ART="${2:-coordinator_chaos_artifacts}"
+if [[ ! -x "$BIN" ]]; then
+    echo "coordinator_chaos: $BIN not built (run: cargo build --release -p macs-bench)" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+CLEANUP=""
+mkdir -p "$ART"
+cleanup() {
+    [[ -n "$CLEANUP" ]] && kill $CLEANUP 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+JOURNAL="$ART/chaos_journal.ndjson"
+rm -f "$JOURNAL"
+
+UNIQUE=5000
+# 5,000 unique cheap points: the (never reached) deadline_ms varies the
+# content-addressed key without changing the simulated work, and the
+# repeat grid re-requests the same points under different ids — the key
+# excludes the id, so the repeats must all be cache hits.
+python3 - "$WORK" "$UNIQUE" <<'EOF'
+import sys
+work, n = sys.argv[1], int(sys.argv[2])
+with open(f"{work}/grid_unique.ndjson", "w") as f:
+    for i in range(n):
+        f.write('{"id":"u%d","kernel":12,"passes":1,"deadline_ms":%d}\n' % (i, 10_000_000 + i))
+with open(f"{work}/grid_repeat.ndjson", "w") as f:
+    for i in range(n):
+        f.write('{"id":"r%d","kernel":12,"passes":1,"deadline_ms":%d}\n' % (i, 10_000_000 + i))
+EOF
+
+echo "coordinator_chaos: starting 3-worker coordinator with chaos kill/hang/corrupt"
+: > "$WORK/coord.log"
+"$BIN" --coordinate --listen 127.0.0.1:0 --metrics \
+    --fleet 3 --journal "$JOURNAL" --queue-max 20000 \
+    --lease-ms 3000 --chaos kill=401,hang=1700,corrupt=301 \
+    --restart-backoff-ms 20 --restart-backoff-cap-ms 200 \
+    --jitter-seed 7 --max-line-bytes 8192 --read-timeout-ms 2000 \
+    -- --workers 2 \
+    2> "$WORK/coord.log" &
+COORD=$!
+disown "$COORD"
+CLEANUP="$COORD"
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*coordinating on tcp //p' "$WORK/coord.log" | head -1)
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "coordinator_chaos: FAIL — coordinator did not bind" >&2
+    cat "$WORK/coord.log" >&2
+    exit 1
+fi
+
+# Streams a grid over one TCP connection (write half closed after the
+# send, so the coordinator ends the stream and emits its summary).
+feed() { # grid out
+    python3 - "$ADDR" "$1" "$2" <<'EOF'
+import socket, sys
+addr, grid, out = sys.argv[1:4]
+host, port = addr.rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=600)
+s.sendall(open(grid, "rb").read())
+s.shutdown(socket.SHUT_WR)
+with open(out, "wb", 0) as f:
+    while True:
+        b = s.recv(65536)
+        if not b:
+            break
+        f.write(b)
+EOF
+}
+
+scrape() {
+    python3 - "$ADDR" <<'EOF'
+import socket, sys
+host, port = sys.argv[1].rsplit(":", 1)
+s = socket.create_connection((host, int(port)), timeout=10)
+s.sendall(b"GET /metrics HTTP/1.0\r\nHost: chaos\r\n\r\n")
+data = b""
+while True:
+    b = s.recv(65536)
+    if not b:
+        break
+    data += b
+head, _, body = data.partition(b"\r\n\r\n")
+assert b"200 OK" in head.splitlines()[0], head
+sys.stdout.write(body.decode())
+EOF
+}
+
+echo "coordinator_chaos: phase 1 — 5,000 unique points through the chaos fleet"
+feed "$WORK/grid_unique.ndjson" "$WORK/out_unique.ndjson"
+
+echo "coordinator_chaos: phase 2 — hostile client (garbage, oversized, stall)"
+python3 - "$ADDR" "$WORK" <<'EOF'
+import json, socket, sys, time
+addr, work = sys.argv[1:3]
+host, port = addr.rsplit(":", 1)
+
+def rows_of(data):
+    return [json.loads(l) for l in data.decode().splitlines() if l.strip()]
+
+def drain(s):
+    data = b""
+    while True:
+        try:
+            b = s.recv(65536)
+        except socket.timeout:
+            break
+        if not b:
+            break
+        data += b
+    return data
+
+# Garbage JSON and a bogus field must come back as structured protocol
+# rows, and a valid point on the same connection must still be answered.
+s = socket.create_connection((host, int(port)), timeout=60)
+s.sendall(b"this is not json\n")
+s.sendall(b'{"id":"ok","kernel":12,"passes":1}\n')
+s.shutdown(socket.SHUT_WR)
+rows = rows_of(drain(s))
+summary = rows.pop()
+kinds = [r.get("error_kind") for r in rows]
+assert "protocol" in kinds, rows
+assert any(r.get("status") == "ok" for r in rows), rows
+assert summary["invalid"] >= 1 and summary["ok"] == 1, summary
+
+# An oversized line (past --max-line-bytes 8192) must produce an
+# `oversized` row and re-synchronize the stream for the next request.
+s = socket.create_connection((host, int(port)), timeout=60)
+s.sendall(b"x" * 100_000 + b"\n")
+s.sendall(b'{"id":"after","kernel":12,"passes":1}\n')
+s.shutdown(socket.SHUT_WR)
+rows = rows_of(drain(s))
+rows.pop()
+assert any(r.get("error_kind") == "oversized" for r in rows), rows
+assert any(r.get("status") == "ok" for r in rows), rows
+
+# A stalled half-line (no newline, then silence) must hit the
+# --read-timeout-ms 2000 guard and close with a `stalled` row instead of
+# pinning the connection thread.
+s = socket.create_connection((host, int(port)), timeout=60)
+s.sendall(b'{"id":"never')
+start = time.monotonic()
+rows = rows_of(drain(s))
+took = time.monotonic() - start
+assert any(r.get("error_kind") == "stalled" for r in rows), rows
+assert took < 30, f"stalled connection held for {took:.0f}s"
+print(f"coordinator_chaos: hostile client handled (stall cut in {took:.1f}s)")
+EOF
+
+echo "coordinator_chaos: phase 3 — the same 5,000 points again, expecting pure cache hits"
+feed "$WORK/grid_repeat.ndjson" "$WORK/out_repeat.ndjson"
+scrape > "$ART/chaos_metrics.txt"
+kill "$COORD" 2>/dev/null || true
+wait "$COORD" 2>/dev/null || true
+CLEANUP=""
+cp "$WORK/coord.log" "$ART/coordinator.log"
+
+echo "coordinator_chaos: phase 4 — lone --serve run of the unique grid for bit-identity"
+"$BIN" --serve --workers 2 \
+    < "$WORK/grid_unique.ndjson" > "$WORK/out_serve.ndjson"
+
+python3 - "$WORK" "$JOURNAL" "$ART" "$UNIQUE" <<'EOF'
+import json, sys
+work, journal_path, art, n = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+
+def load(path):
+    rows = [json.loads(l) for l in open(path) if l.strip()]
+    summary = rows.pop()
+    assert summary["schema"] == "c240-sweep-summary/v1", summary
+    return rows, summary
+
+unique, s1 = load(f"{work}/out_unique.ndjson")
+repeat, s2 = load(f"{work}/out_repeat.ndjson")
+served, s3 = load(f"{work}/out_serve.ndjson")
+
+# Phase 1: every unique point answered exactly once, all healthy,
+# nothing shed, despite the kills/hangs/corruption.
+assert s1["ok"] == n, s1
+assert s1.get("overloaded", 0) == 0 and s1["duplicate"] == 0, s1
+keys1 = [r["key"] for r in unique if "key" in r]
+assert len(keys1) == n and len(set(keys1)) == n, \
+    f"phase 1 answered {len(keys1)} rows over {len(set(keys1))} keys"
+
+# Phase 3: the repeated half is answered from the cache — zero fresh
+# computation — and re-emits the phase-1 rows verbatim (the cache key
+# excludes the id, so the original u<i> rows come back).
+assert s2.get("cached", 0) == n and s2["ok"] == 0 and s2.get("resumed", 0) == 0, s2
+by_key = {r["key"]: r for r in unique if "key" in r}
+for r in repeat:
+    if "key" in r:
+        assert by_key[r["key"]] == r, f"cached row diverged: {r.get('id')}"
+
+# Journal: exactly one record per unique point, every row byte-identical
+# to what the client saw. The hostile client's two healthy probes share
+# one content key (the id is not part of the key), so they contribute
+# exactly one extra record.
+journal = [json.loads(l) for l in open(journal_path) if l.strip()]
+assert journal[0]["schema"] == "c240-sweep-journal/v1", journal[0]
+records = [r for r in journal[1:] if "key" in r]
+jkeys = [r["key"] for r in records]
+assert len(jkeys) == n + 1, f"journal holds {len(jkeys)} records, expected {n + 1}"
+assert len(set(jkeys)) == n + 1, "journal contains duplicate point keys"
+extra = [k for k in jkeys if k not in by_key]
+assert len(extra) == 1, f"unexpected journal keys beyond the hostile probe: {extra}"
+for r in records:
+    if r["key"] in by_key:
+        assert by_key[r["key"]] == r["row"], f"journal diverged from stream: {r['key']}"
+
+# Bit-identity: the coordinated rows equal a lone single-process
+# `--serve` run of the same grid, point for point.
+assert s3["ok"] == n, s3
+for r in served:
+    if "key" in r:
+        assert by_key[r["key"]] == r, f"coordinator diverged from lone serve: {r.get('id')}"
+
+# Metrics: the chaos actually fired, the fleet recovered, and the cache
+# hits cover the repeated half.
+counters = {}
+for line in open(f"{art}/chaos_metrics.txt"):
+    line = line.strip()
+    if line and not line.startswith("#"):
+        name, _, value = line.rpartition(" ")
+        counters[name] = float(value)
+def c(name):
+    return counters.get(name, 0)
+assert c("macs_cache_hits_total") >= n, counters
+# 5,000 unique points + the hostile client's probe key; its second
+# probe and the whole repeat grid are hits.
+assert c("macs_cache_misses_total") == n + 1, counters
+assert c('macs_chaos_injected_total{action="kill"}') > 0, counters
+assert c('macs_chaos_injected_total{action="hang"}') > 0, counters
+assert c('macs_chaos_injected_total{action="corrupt"}') > 0, counters
+assert c("macs_worker_deaths_total") + c("macs_lease_expired_total") > 0, counters
+assert c("macs_worker_restarts_total") > 0, counters
+assert c("macs_redispatch_total") > 0, counters
+assert c("macs_duplicate_results_total") >= 0
+assert c("macs_lines_oversized_total") >= 1, counters
+assert c("macs_streams_stalled_total") >= 1, counters
+
+print("coordinator_chaos: PASS — %d unique + %d repeated points; "
+      "%d kills, %d hangs, %d corruptions injected; %d restarts, "
+      "%d redispatches; repeats all cache hits; rows bit-identical "
+      "to a lone --serve run" % (
+          n, n,
+          c('macs_chaos_injected_total{action="kill"}'),
+          c('macs_chaos_injected_total{action="hang"}'),
+          c('macs_chaos_injected_total{action="corrupt"}'),
+          c("macs_worker_restarts_total"),
+          c("macs_redispatch_total")))
+EOF
